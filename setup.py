@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+The offline environment this repository targets has no ``wheel`` package, so
+the PEP 517 editable-install path (which needs ``bdist_wheel``) is not
+available.  A classic ``setup.py`` keeps ``pip install -e .`` working through
+the legacy ``setup.py develop`` route.  All metadata lives in ``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,219 @@
+"""The blockchain: canonical block list, state and block production."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import BlockValidationError, UnknownBlockError, UnknownTransactionError
+from repro.chain.account import Address
+from repro.chain.block import (
+    Block,
+    BlockHeader,
+    compute_receipts_root,
+    compute_transactions_root,
+    make_genesis_block,
+)
+from repro.chain.consensus import ProofOfAuthority
+from repro.chain.events import EventLog, LogFilter
+from repro.chain.executor import BlockContext, ContractBackend, TransactionExecutor
+from repro.chain.gas import GasSchedule, SEPOLIA_GAS_SCHEDULE
+from repro.chain.mempool import Mempool
+from repro.chain.receipts import TransactionReceipt
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.utils.clock import SimulatedClock
+
+
+@dataclass
+class ChainConfig:
+    """Static parameters of the simulated network."""
+
+    chain_id: int = 11155111  # Sepolia's chain id
+    name: str = "simulated-sepolia"
+    block_gas_limit: int = 30_000_000
+    slot_seconds: float = 12.0
+    schedule: GasSchedule = field(default_factory=GasSchedule)
+
+
+class Blockchain:
+    """Canonical chain: genesis, state, mempool and block production.
+
+    Block production is explicit: callers (usually
+    :class:`repro.chain.node.EthereumNode`) call :meth:`produce_block`, which
+    advances the simulated clock to the next slot boundary, drains eligible
+    transactions from the mempool, executes them and appends the block.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ChainConfig] = None,
+        backend: Optional[ContractBackend] = None,
+        clock: Optional[SimulatedClock] = None,
+        validators: Optional[List[Address]] = None,
+    ) -> None:
+        self.config = config or ChainConfig()
+        self.clock = clock or SimulatedClock()
+        self.state = WorldState()
+        self.mempool = Mempool()
+        self.consensus = ProofOfAuthority(
+            validators=validators or [],
+            slot_seconds=self.config.slot_seconds,
+            genesis_timestamp=self.clock.now,
+        )
+        self.executor = TransactionExecutor(backend=backend, schedule=self.config.schedule)
+        genesis = make_genesis_block(timestamp=self.clock.now)
+        self._blocks: List[Block] = [genesis]
+        self._blocks_by_hash: Dict[str, Block] = {genesis.hash: genesis}
+        self._receipts: Dict[str, TransactionReceipt] = {}
+        self._transactions: Dict[str, Transaction] = {}
+        self._logs: List[EventLog] = []
+
+    # -- chain accessors -----------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of the latest block."""
+        return self._blocks[-1].number
+
+    @property
+    def latest_block(self) -> Block:
+        """The most recently produced block."""
+        return self._blocks[-1]
+
+    def get_block(self, number_or_hash) -> Block:
+        """Look up a block by height (int) or hash (hex string)."""
+        if isinstance(number_or_hash, int):
+            if not 0 <= number_or_hash < len(self._blocks):
+                raise UnknownBlockError(f"no block at height {number_or_hash}")
+            return self._blocks[number_or_hash]
+        block = self._blocks_by_hash.get(number_or_hash)
+        if block is None:
+            raise UnknownBlockError(f"no block with hash {number_or_hash}")
+        return block
+
+    def blocks(self) -> List[Block]:
+        """All blocks from genesis to the tip."""
+        return list(self._blocks)
+
+    def get_receipt(self, tx_hash: str) -> TransactionReceipt:
+        """Receipt of an included transaction."""
+        receipt = self._receipts.get(tx_hash)
+        if receipt is None:
+            raise UnknownTransactionError(f"no receipt for transaction {tx_hash}")
+        return receipt
+
+    def has_receipt(self, tx_hash: str) -> bool:
+        """Whether the transaction has been included."""
+        return tx_hash in self._receipts
+
+    def get_transaction(self, tx_hash: str) -> Transaction:
+        """An included or pending transaction by hash."""
+        if tx_hash in self._transactions:
+            return self._transactions[tx_hash]
+        pending = self.mempool.get(tx_hash)
+        if pending is not None:
+            return pending
+        raise UnknownTransactionError(f"unknown transaction {tx_hash}")
+
+    def logs(self, log_filter: Optional[LogFilter] = None) -> List[EventLog]:
+        """All event logs on the canonical chain, optionally filtered."""
+        if log_filter is None:
+            return list(self._logs)
+        return log_filter.apply(self._logs)
+
+    # -- transaction intake --------------------------------------------------
+
+    def submit_transaction(self, tx: Transaction) -> str:
+        """Validate and queue a signed transaction; returns its hash."""
+        self.executor.validate(tx, self.state, check_nonce=False)
+        return self.mempool.add(tx)
+
+    # -- block production ----------------------------------------------------
+
+    def produce_block(self, advance_clock: bool = True) -> Block:
+        """Produce the next block from the mempool.
+
+        When ``advance_clock`` is true the simulated clock first advances to
+        the next slot boundary, reproducing the ~12 s inclusion latency.
+        """
+        if advance_clock:
+            timestamp = self.consensus.advance_to_next_block(self.clock)
+        else:
+            timestamp = self.clock.now
+        slot = self.consensus.slot_at(timestamp)
+        proposer = self.consensus.proposer_for_slot(slot)
+
+        candidates = self.mempool.select_for_block(self.state, self.config.block_gas_limit)
+        block_ctx = BlockContext(
+            number=self.height + 1,
+            timestamp=timestamp,
+            coinbase=proposer,
+            gas_price=0,
+        )
+
+        included: List[Transaction] = []
+        receipts: List[TransactionReceipt] = []
+        cumulative_gas = 0
+        for tx in candidates:
+            block_ctx.gas_price = tx.gas_price
+            receipt = self.executor.apply(tx, self.state, block_ctx)
+            cumulative_gas += receipt.gas_used
+            receipt.cumulative_gas_used = cumulative_gas
+            receipt.transaction_index = len(included)
+            included.append(tx)
+            receipts.append(receipt)
+            self.mempool.remove(tx.hash_hex)
+
+        header = BlockHeader(
+            number=self.height + 1,
+            parent_hash=self.latest_block.hash,
+            timestamp=timestamp,
+            proposer=proposer,
+            gas_used=cumulative_gas,
+            gas_limit=self.config.block_gas_limit,
+            transactions_root=compute_transactions_root(included),
+            receipts_root=compute_receipts_root(receipts),
+        )
+        block = Block(header=header, transactions=included, receipts=receipts)
+        self._append_block(block)
+        return block
+
+    def _append_block(self, block: Block) -> None:
+        """Validate linkage and append ``block`` to the canonical chain."""
+        parent = self.latest_block
+        if block.header.parent_hash != parent.hash:
+            raise BlockValidationError(
+                f"block {block.number} does not extend the tip "
+                f"(parent {block.header.parent_hash} != {parent.hash})"
+            )
+        if block.number != parent.number + 1:
+            raise BlockValidationError(
+                f"block number {block.number} is not parent number + 1 ({parent.number + 1})"
+            )
+        if block.timestamp < parent.timestamp:
+            raise BlockValidationError("block timestamp precedes its parent")
+        self._blocks.append(block)
+        self._blocks_by_hash[block.hash] = block
+        for tx, receipt in zip(block.transactions, block.receipts):
+            receipt.block_number = block.number
+            receipt.block_hash = block.hash
+            self._receipts[tx.hash_hex] = receipt
+            self._transactions[tx.hash_hex] = tx
+            for index, log in enumerate(receipt.logs):
+                positioned = EventLog(
+                    address=log.address,
+                    name=log.name,
+                    args=log.args,
+                    block_number=block.number,
+                    transaction_hash=tx.hash_hex,
+                    log_index=index,
+                )
+                self._logs.append(positioned)
+
+    def produce_blocks_until_empty(self, max_blocks: int = 100) -> List[Block]:
+        """Keep producing blocks until the mempool drains (or the cap hits)."""
+        produced: List[Block] = []
+        while len(self.mempool) > 0 and len(produced) < max_blocks:
+            produced.append(self.produce_block())
+        return produced

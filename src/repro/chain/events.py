@@ -1,0 +1,88 @@
+"""Event logs emitted by contracts and filters over them.
+
+Contracts emit events (``CidUploaded``, ``PaymentSent`` ...) that end up in
+transaction receipts and can be filtered by address, name and block range --
+the same interaction pattern a web3.py client uses to watch the CidStorage
+contract for newly registered models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.chain.account import Address
+from repro.utils.hashing import hash_json
+
+
+@dataclass(frozen=True)
+class EventLog:
+    """A single emitted event.
+
+    Attributes
+    ----------
+    address:
+        Contract that emitted the event.
+    name:
+        Event name (e.g. ``"CidUploaded"``).
+    args:
+        Event arguments by name.
+    block_number / transaction_hash / log_index:
+        Position of the log on the chain; filled in by the executor.
+    """
+
+    address: Address
+    name: str
+    args: Dict[str, Any]
+    block_number: int = 0
+    transaction_hash: str = ""
+    log_index: int = 0
+
+    @property
+    def topic(self) -> str:
+        """A stable identifier for the event signature (hash of its name)."""
+        return "0x" + hash_json({"event": self.name}).hex()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "address": str(self.address),
+            "event": self.name,
+            "args": dict(self.args),
+            "block_number": self.block_number,
+            "transaction_hash": self.transaction_hash,
+            "log_index": self.log_index,
+        }
+
+
+@dataclass
+class LogFilter:
+    """Criteria for selecting event logs.
+
+    ``None`` fields match anything; ``from_block``/``to_block`` are inclusive.
+    """
+
+    address: Optional[Address] = None
+    event_name: Optional[str] = None
+    from_block: int = 0
+    to_block: Optional[int] = None
+    arg_filters: Dict[str, Any] = field(default_factory=dict)
+
+    def matches(self, log: EventLog) -> bool:
+        """Whether ``log`` satisfies every criterion of this filter."""
+        if self.address is not None and log.address != self.address:
+            return False
+        if self.event_name is not None and log.name != self.event_name:
+            return False
+        if log.block_number < self.from_block:
+            return False
+        if self.to_block is not None and log.block_number > self.to_block:
+            return False
+        for key, expected in self.arg_filters.items():
+            if log.args.get(key) != expected:
+                return False
+        return True
+
+    def apply(self, logs: Iterable[EventLog]) -> List[EventLog]:
+        """Return the logs that match, preserving order."""
+        return [log for log in logs if self.matches(log)]

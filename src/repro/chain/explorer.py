@@ -1,0 +1,142 @@
+"""An Etherscan-like explorer over the simulated chain.
+
+The paper points readers at Sepolia Etherscan to audit the payment
+transactions (Table 1 footnote).  The :class:`Explorer` provides the same
+queries programmatically: transactions by account, fee summaries per
+transaction type, account activity and chain-wide gas statistics.  The
+Fig. 5 benchmark uses it to tabulate deployment vs interaction vs payment
+fees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.chain.account import Address
+from repro.chain.chain import Blockchain
+from repro.chain.receipts import TransactionReceipt
+from repro.chain.transaction import Transaction
+from repro.utils.units import format_ether
+
+
+@dataclass
+class TransactionRecord:
+    """A joined view of a transaction and its receipt, as explorers show."""
+
+    transaction: Transaction
+    receipt: TransactionReceipt
+
+    @property
+    def kind(self) -> str:
+        """Classify the transaction: deployment / contract call / transfer."""
+        if self.transaction.is_create:
+            return "contract_deployment"
+        if self.receipt.to is not None and self.transaction.data:
+            return "contract_interaction"
+        return "transfer"
+
+    @property
+    def fee_wei(self) -> int:
+        """Fee paid for this transaction in wei."""
+        return self.receipt.fee_wei
+
+    def to_row(self) -> dict:
+        """One explorer-style row."""
+        return {
+            "hash": self.transaction.hash_hex,
+            "block": self.receipt.block_number,
+            "from": str(self.transaction.sender),
+            "to": str(self.transaction.to) if self.transaction.to else "(contract creation)",
+            "kind": self.kind,
+            "value_wei": self.transaction.value,
+            "gas_used": self.receipt.gas_used,
+            "gas_price": self.receipt.gas_price,
+            "fee_eth": format_ether(self.fee_wei),
+            "status": "success" if self.receipt.status else "failed",
+        }
+
+
+class Explorer:
+    """Read-only analytics over a :class:`Blockchain`."""
+
+    def __init__(self, chain: Blockchain) -> None:
+        self.chain = chain
+
+    # -- record retrieval -----------------------------------------------------
+
+    def all_records(self) -> List[TransactionRecord]:
+        """Every included transaction joined with its receipt, in chain order."""
+        records: List[TransactionRecord] = []
+        for block in self.chain.blocks():
+            for tx, receipt in zip(block.transactions, block.receipts):
+                records.append(TransactionRecord(transaction=tx, receipt=receipt))
+        return records
+
+    def transactions_of(self, address: Address | str) -> List[TransactionRecord]:
+        """Transactions sent by or addressed to ``address``."""
+        addr = Address(address)
+        return [
+            record
+            for record in self.all_records()
+            if record.transaction.sender == addr or (record.transaction.to == addr)
+        ]
+
+    def record(self, tx_hash: str) -> Optional[TransactionRecord]:
+        """Find a single transaction record by hash."""
+        for candidate in self.all_records():
+            if candidate.transaction.hash_hex == tx_hash:
+                return candidate
+        return None
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    def fee_summary_by_kind(self) -> Dict[str, Dict[str, float]]:
+        """Gas and fee statistics grouped by transaction kind.
+
+        This is the data behind Fig. 5: deployment transactions carry the
+        heaviest fees, CID submissions and payments are comparable.
+        """
+        groups: Dict[str, List[TransactionRecord]] = {}
+        for rec in self.all_records():
+            groups.setdefault(rec.kind, []).append(rec)
+        summary: Dict[str, Dict[str, float]] = {}
+        for kind, records in groups.items():
+            fees = [rec.fee_wei for rec in records]
+            gas = [rec.receipt.gas_used for rec in records]
+            summary[kind] = {
+                "count": len(records),
+                "total_fee_wei": sum(fees),
+                "mean_fee_wei": sum(fees) / len(fees),
+                "mean_gas_used": sum(gas) / len(gas),
+                "max_fee_wei": max(fees),
+                "min_fee_wei": min(fees),
+            }
+        return summary
+
+    def account_activity(self, address: Address | str) -> dict:
+        """Etherscan-style account overview."""
+        addr = Address(address)
+        records = self.transactions_of(addr)
+        sent = [rec for rec in records if rec.transaction.sender == addr]
+        received = [rec for rec in records if rec.transaction.to == addr]
+        return {
+            "address": str(addr),
+            "balance_wei": self.chain.state.balance_of(addr),
+            "nonce": self.chain.state.nonce_of(addr),
+            "transactions_sent": len(sent),
+            "transactions_received": len(received),
+            "total_fees_paid_wei": sum(rec.fee_wei for rec in sent),
+            "total_value_received_wei": sum(rec.transaction.value for rec in received),
+        }
+
+    def chain_statistics(self) -> dict:
+        """Whole-chain statistics (blocks, transactions, gas)."""
+        records = self.all_records()
+        return {
+            "height": self.chain.height,
+            "total_transactions": len(records),
+            "total_gas_used": sum(rec.receipt.gas_used for rec in records),
+            "total_fees_wei": sum(rec.fee_wei for rec in records),
+            "failed_transactions": sum(1 for rec in records if not rec.receipt.status),
+        }

@@ -1,0 +1,48 @@
+"""A testnet faucet.
+
+On Sepolia, participants obtain test ETH from public faucets.  The simulated
+faucet simply credits balances in the world state (it mints, as testnet
+faucets effectively do from the user's perspective) and keeps a record of the
+drips for auditability in experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.chain.account import Address
+from repro.chain.node import EthereumNode
+from repro.utils.units import ether_to_wei
+
+
+@dataclass
+class Faucet:
+    """Credits test ETH to accounts on the simulated chain."""
+
+    node: EthereumNode
+    default_drip_wei: int = field(default_factory=lambda: ether_to_wei("1"))
+    _history: List[Tuple[str, int]] = field(default_factory=list)
+
+    def drip(self, address: Address | str, amount_wei: int | None = None) -> int:
+        """Credit ``amount_wei`` (default one ether) to ``address``."""
+        amount = self.default_drip_wei if amount_wei is None else int(amount_wei)
+        if amount <= 0:
+            raise ValueError(f"drip amount must be positive, got {amount}")
+        self.node.chain.state.credit(Address(address), amount)
+        self._history.append((str(Address(address)), amount))
+        return amount
+
+    def fund_many(self, addresses, amount_wei: int | None = None) -> Dict[str, int]:
+        """Drip the same amount to every address in ``addresses``."""
+        return {str(Address(addr)): self.drip(addr, amount_wei) for addr in addresses}
+
+    @property
+    def history(self) -> List[Tuple[str, int]]:
+        """All (address, amount) drips performed so far."""
+        return list(self._history)
+
+    @property
+    def total_dripped(self) -> int:
+        """Total wei created by this faucet."""
+        return sum(amount for _, amount in self._history)

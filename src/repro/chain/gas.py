@@ -1,0 +1,150 @@
+"""The gas schedule and gas metering.
+
+Gas costs follow the Ethereum yellow-paper / EIP-2028 / EIP-2929 values that
+dominate real transaction fees, because the paper's Fig. 5 compares exactly
+these: contract deployment (intrinsic creation gas + code-deposit gas per
+byte), calldata gas for submitting a CID, storage-write gas, and plain value
+transfers for payments.  Reproducing the schedule reproduces the fee ordering
+``deployment >> CID submission ~= payment`` and the ~0.002-ETH deployment
+magnitude at typical gas prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OutOfGasError
+
+
+@dataclass(frozen=True)
+class GasSchedule:
+    """Gas cost constants (defaults mirror Ethereum mainnet post-EIP-2929)."""
+
+    tx_base: int = 21_000
+    """Intrinsic gas of every transaction."""
+
+    tx_create: int = 32_000
+    """Extra intrinsic gas for contract-creation transactions."""
+
+    calldata_zero_byte: int = 4
+    """Gas per zero byte of transaction calldata."""
+
+    calldata_nonzero_byte: int = 16
+    """Gas per non-zero byte of transaction calldata (EIP-2028)."""
+
+    code_deposit_byte: int = 200
+    """Gas per byte of deployed contract code."""
+
+    sstore_set: int = 22_100
+    """Writing a storage slot from zero to non-zero (cold access included)."""
+
+    sstore_update: int = 5_000
+    """Overwriting an existing non-zero storage slot."""
+
+    sstore_clear_refund: int = 4_800
+    """Refund for clearing a storage slot to zero."""
+
+    sload: int = 2_100
+    """Reading a storage slot (cold access)."""
+
+    log_base: int = 375
+    """Base cost of emitting an event log."""
+
+    log_topic: int = 375
+    """Cost per indexed topic of an event log."""
+
+    log_data_byte: int = 8
+    """Cost per byte of un-indexed event data."""
+
+    call_value_transfer: int = 9_000
+    """Extra cost of a message call that transfers value."""
+
+    compute_step: int = 3
+    """Cost charged per abstract computation step inside contract methods."""
+
+    memory_byte: int = 3
+    """Cost per byte of transient memory a contract method touches."""
+
+    max_refund_quotient: int = 5
+    """At most 1/quotient of gas used may be refunded (EIP-3529)."""
+
+    def calldata_gas(self, data: bytes) -> int:
+        """Gas charged for transaction calldata, byte by byte."""
+        zeros = data.count(0)
+        nonzeros = len(data) - zeros
+        return zeros * self.calldata_zero_byte + nonzeros * self.calldata_nonzero_byte
+
+    def intrinsic_gas(self, data: bytes, is_create: bool) -> int:
+        """Intrinsic (pre-execution) gas of a transaction."""
+        gas = self.tx_base + self.calldata_gas(data)
+        if is_create:
+            gas += self.tx_create
+        return gas
+
+    def code_deposit_gas(self, code_size: int) -> int:
+        """Gas charged for depositing ``code_size`` bytes of contract code."""
+        return code_size * self.code_deposit_byte
+
+    def log_gas(self, num_topics: int, data_size: int) -> int:
+        """Gas charged for emitting an event with the given shape."""
+        return self.log_base + num_topics * self.log_topic + data_size * self.log_data_byte
+
+
+SEPOLIA_GAS_SCHEDULE = GasSchedule()
+"""Default schedule; Sepolia uses mainnet gas semantics."""
+
+
+class GasMeter:
+    """Tracks gas consumption of a single transaction execution.
+
+    The meter is handed to the contract framework so that storage reads and
+    writes, event emission and per-step compute are charged as they happen.
+    Exceeding the transaction's gas limit raises :class:`OutOfGasError`, which
+    the executor turns into a failed receipt that still consumes the limit.
+    """
+
+    def __init__(self, gas_limit: int, schedule: GasSchedule | None = None) -> None:
+        if gas_limit <= 0:
+            raise ValueError(f"gas limit must be positive, got {gas_limit}")
+        self.gas_limit = int(gas_limit)
+        self.schedule = schedule or SEPOLIA_GAS_SCHEDULE
+        self._used = 0
+        self._refund = 0
+
+    @property
+    def gas_used(self) -> int:
+        """Gas consumed so far (before refunds)."""
+        return self._used
+
+    @property
+    def gas_remaining(self) -> int:
+        """Gas still available under the limit."""
+        return self.gas_limit - self._used
+
+    @property
+    def refund_counter(self) -> int:
+        """Accumulated refund (capped at settlement time)."""
+        return self._refund
+
+    def consume(self, amount: int, reason: str = "") -> None:
+        """Charge ``amount`` gas; raise :class:`OutOfGasError` beyond the limit."""
+        if amount < 0:
+            raise ValueError(f"cannot consume negative gas: {amount}")
+        if self._used + amount > self.gas_limit:
+            self._used = self.gas_limit
+            raise OutOfGasError(
+                f"out of gas{': ' + reason if reason else ''} "
+                f"(limit {self.gas_limit}, needed {self._used + amount})"
+            )
+        self._used += amount
+
+    def add_refund(self, amount: int) -> None:
+        """Accumulate a gas refund (e.g. for clearing storage)."""
+        if amount < 0:
+            raise ValueError(f"cannot refund negative gas: {amount}")
+        self._refund += amount
+
+    def settle(self) -> int:
+        """Return the final gas used after applying the capped refund."""
+        max_refund = self._used // self.schedule.max_refund_quotient
+        return self._used - min(self._refund, max_refund)

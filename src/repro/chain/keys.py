@@ -1,0 +1,205 @@
+"""Key pairs, addresses and Schnorr signatures.
+
+Ethereum uses secp256k1 ECDSA; implementing elliptic-curve arithmetic from
+scratch adds no value to the reproduction, so accounts here use **Schnorr
+signatures over a multiplicative group modulo a safe prime** (the 2048-bit
+MODP group from RFC 3526).  The scheme provides what the system actually
+relies on:
+
+* a private key that only its holder knows,
+* a public key and a 20-byte Ethereum-style address derived from it,
+* signatures over transaction hashes that anyone can verify against the
+  sender's address without the private key.
+
+Signing is deterministic (the nonce is derived from the key and message), so
+test vectors are stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidSignatureError
+from repro.utils.encoding import from_hex, to_hex
+from repro.utils.hashing import keccak256
+
+# RFC 3526 group 14 (2048-bit MODP).  P is a safe prime: P = 2*Q + 1.
+_P_HEX = (
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"
+    "98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"
+    "9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"
+    "E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"
+    "3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF"
+)
+
+GROUP_PRIME = int(_P_HEX, 16)
+GROUP_ORDER = (GROUP_PRIME - 1) // 2
+GENERATOR = 2
+
+ADDRESS_BYTES = 20
+
+
+def _int_to_bytes(value: int) -> bytes:
+    """Minimal big-endian byte representation of a non-negative integer."""
+    if value == 0:
+        return b"\x00"
+    return value.to_bytes((value.bit_length() + 7) // 8, "big")
+
+
+def _hash_to_int(*parts: bytes) -> int:
+    """Hash arbitrary byte strings to an integer modulo the group order."""
+    return int.from_bytes(keccak256(b"".join(parts)), "big") % GROUP_ORDER
+
+
+@dataclass(frozen=True)
+class Signature:
+    """A Schnorr signature ``(commitment e, response s)`` plus the public key.
+
+    The public key travels with the signature (as it does implicitly with
+    ECDSA recovery in Ethereum) so that the verifier can both check the
+    signature and confirm that the key hashes to the claimed sender address.
+    """
+
+    e: int
+    s: int
+    public_key: int
+
+    def to_dict(self) -> dict:
+        """JSON-serializable representation (hex-encoded components)."""
+        return {
+            "e": to_hex(_int_to_bytes(self.e)),
+            "s": to_hex(_int_to_bytes(self.s)),
+            "public_key": to_hex(_int_to_bytes(self.public_key)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Signature":
+        """Reconstruct a signature from :meth:`to_dict` output."""
+        return cls(
+            e=int.from_bytes(from_hex(payload["e"]), "big"),
+            s=int.from_bytes(from_hex(payload["s"]), "big"),
+            public_key=int.from_bytes(from_hex(payload["public_key"]), "big"),
+        )
+
+
+def address_from_public_key(public_key: int) -> str:
+    """Derive a checksummed 20-byte address from a public key.
+
+    Mirrors Ethereum: the address is the last 20 bytes of the hash of the
+    public key, rendered with an EIP-55-style mixed-case checksum.
+    """
+    digest = keccak256(_int_to_bytes(public_key))
+    return to_checksum_address(to_hex(digest[-ADDRESS_BYTES:]))
+
+
+def to_checksum_address(address: str) -> str:
+    """Apply an EIP-55-style mixed-case checksum to a hex address."""
+    body = address.lower().replace("0x", "")
+    if len(body) != ADDRESS_BYTES * 2:
+        raise ValueError(f"address must be {ADDRESS_BYTES} bytes: {address!r}")
+    int(body, 16)  # validates hex characters
+    digest = keccak256(body.encode("ascii")).hex()
+    chars = [
+        char.upper() if char.isalpha() and int(digest[i], 16) >= 8 else char
+        for i, char in enumerate(body)
+    ]
+    return "0x" + "".join(chars)
+
+
+class KeyPair:
+    """A private/public key pair able to sign message hashes.
+
+    Parameters
+    ----------
+    private_key:
+        Optional 32-byte private seed.  When omitted, the caller should use
+        :meth:`generate` with an RNG for fresh keys; deterministic tests pass
+        explicit seeds.
+    """
+
+    def __init__(self, private_key: bytes) -> None:
+        if len(private_key) == 0:
+            raise ValueError("private key must be non-empty bytes")
+        self._private_seed = bytes(private_key)
+        self._x = _hash_to_int(b"oflw3-priv", self._private_seed) or 1
+        self.public_key = pow(GENERATOR, self._x, GROUP_PRIME)
+        self.address = address_from_public_key(self.public_key)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def generate(cls, rng=None) -> "KeyPair":
+        """Create a key pair from 32 random bytes drawn from ``rng``."""
+        import numpy as np
+
+        generator = rng or np.random.default_rng()
+        seed = bytes(int(b) for b in generator.integers(0, 256, size=32))
+        return cls(seed)
+
+    @classmethod
+    def from_label(cls, label: str) -> "KeyPair":
+        """Derive a stable key pair from a human-readable label.
+
+        Used by tests and examples to create named actors ("owner-3",
+        "buyer") whose addresses are reproducible across runs.
+        """
+        return cls(keccak256(b"oflw3-label:" + label.encode("utf-8")))
+
+    # -- signing ------------------------------------------------------------
+
+    def sign(self, message_hash: bytes) -> Signature:
+        """Produce a deterministic Schnorr signature over a 32-byte hash."""
+        if len(message_hash) != 32:
+            raise ValueError("sign expects a 32-byte message hash")
+        nonce = _hash_to_int(b"oflw3-nonce", self._private_seed, message_hash) or 1
+        commitment = pow(GENERATOR, nonce, GROUP_PRIME)
+        challenge = _hash_to_int(_int_to_bytes(commitment), message_hash)
+        response = (nonce + challenge * self._x) % GROUP_ORDER
+        return Signature(e=challenge, s=response, public_key=self.public_key)
+
+    def export_private_seed(self) -> bytes:
+        """Return the raw private seed (used by wallet import/export flows)."""
+        return self._private_seed
+
+
+def verify_signature(signature: Signature, message_hash: bytes, address: Optional[str] = None) -> bool:
+    """Verify a Schnorr signature; optionally also check the sender address.
+
+    Returns ``True`` when ``g^s == r * y^e`` for the reconstructed commitment
+    ``r`` and, if ``address`` is given, the public key hashes to it.
+    """
+    if len(message_hash) != 32:
+        raise ValueError("verify expects a 32-byte message hash")
+    y = signature.public_key
+    if not (1 < y < GROUP_PRIME):
+        return False
+    # g^s = g^(k + x*e) = r * y^e  =>  r = g^s * y^(-e)
+    gs = pow(GENERATOR, signature.s, GROUP_PRIME)
+    ye = pow(y, signature.e, GROUP_PRIME)
+    try:
+        r = (gs * pow(ye, -1, GROUP_PRIME)) % GROUP_PRIME
+    except ValueError:
+        return False
+    expected_challenge = _hash_to_int(_int_to_bytes(r), message_hash)
+    if expected_challenge != signature.e:
+        return False
+    if address is not None and address_from_public_key(y) != to_checksum_address(address):
+        return False
+    return True
+
+
+def recover_address(signature: Signature, message_hash: bytes) -> str:
+    """Return the signer address for a valid signature, else raise.
+
+    Raises
+    ------
+    InvalidSignatureError
+        If the signature does not verify.
+    """
+    if not verify_signature(signature, message_hash):
+        raise InvalidSignatureError("signature does not verify")
+    return address_from_public_key(signature.public_key)

@@ -1,0 +1,114 @@
+"""The transaction mempool.
+
+Pending transactions wait here until the proof-of-authority producer includes
+them in a block.  Ordering is by gas price (descending) then arrival order,
+mirroring fee-priority inclusion; per-sender nonce gaps keep later
+transactions queued until their predecessors are included.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import MempoolError
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+
+
+class Mempool:
+    """Holds signed transactions awaiting inclusion."""
+
+    def __init__(self, max_size: int = 10_000) -> None:
+        self.max_size = max_size
+        self._pending: Dict[str, Transaction] = {}
+        self._arrival: Dict[str, int] = {}
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, tx_hash: str) -> bool:
+        return tx_hash in self._pending
+
+    def add(self, tx: Transaction) -> str:
+        """Queue a signed transaction; returns its hash.
+
+        Raises
+        ------
+        MempoolError
+            If the pool is full, the transaction is unsigned, or a
+            transaction with the same hash is already pending.
+        """
+        if len(self._pending) >= self.max_size:
+            raise MempoolError(f"mempool full ({self.max_size} transactions)")
+        if tx.signature is None or not tx.verify_signature():
+            raise MempoolError("refusing to queue an unsigned or badly signed transaction")
+        tx_hash = tx.hash_hex
+        if tx_hash in self._pending:
+            raise MempoolError(f"transaction {tx_hash} already pending")
+        self._pending[tx_hash] = tx
+        self._arrival[tx_hash] = self._counter
+        self._counter += 1
+        return tx_hash
+
+    def remove(self, tx_hash: str) -> Optional[Transaction]:
+        """Drop a pending transaction (after inclusion or explicit eviction)."""
+        self._arrival.pop(tx_hash, None)
+        return self._pending.pop(tx_hash, None)
+
+    def get(self, tx_hash: str) -> Optional[Transaction]:
+        """Look up a pending transaction by hash."""
+        return self._pending.get(tx_hash)
+
+    def pending(self) -> List[Transaction]:
+        """All pending transactions, fee-priority ordered."""
+        return sorted(
+            self._pending.values(),
+            key=lambda tx: (-tx.gas_price, self._arrival[tx.hash_hex]),
+        )
+
+    def select_for_block(self, state: WorldState, gas_limit: int, max_count: int = 500) -> List[Transaction]:
+        """Choose transactions for the next block.
+
+        Greedy fee-priority selection subject to the block gas limit, with
+        per-sender nonce continuity so that a sender's transactions are
+        included in nonce order.
+        """
+        selected: List[Transaction] = []
+        selected_hashes: set = set()
+        gas_budget = gas_limit
+        next_nonce: Dict[str, int] = {}
+        # Repeat fee-priority passes until no more transactions become
+        # eligible: selecting a sender's nonce-n transaction unlocks its
+        # nonce-n+1 transaction on the next pass.
+        progressed = True
+        while progressed and len(selected) < max_count:
+            progressed = False
+            for tx in self.pending():
+                if len(selected) >= max_count:
+                    break
+                if tx.hash_hex in selected_hashes:
+                    continue
+                sender_key = tx.sender.lower
+                expected = next_nonce.get(sender_key, state.nonce_of(tx.sender))
+                if tx.nonce != expected:
+                    continue
+                if tx.gas_limit > gas_budget:
+                    continue
+                selected.append(tx)
+                selected_hashes.add(tx.hash_hex)
+                gas_budget -= tx.gas_limit
+                next_nonce[sender_key] = expected + 1
+                progressed = True
+        return selected
+
+    def prune_stale(self, state: WorldState) -> int:
+        """Evict transactions whose nonce is already below the account nonce."""
+        stale = [
+            tx_hash
+            for tx_hash, tx in self._pending.items()
+            if tx.nonce < state.nonce_of(tx.sender)
+        ]
+        for tx_hash in stale:
+            self.remove(tx_hash)
+        return len(stale)

@@ -1,0 +1,203 @@
+"""A JSON-RPC-shaped node interface, the analogue of a web3.py provider.
+
+:class:`EthereumNode` is what every higher layer (wallet, backend, DApp,
+workflow) talks to.  It wraps a :class:`~repro.chain.chain.Blockchain` and
+exposes the familiar operations: ``get_balance``, ``get_transaction_count``,
+``send_transaction``, ``wait_for_receipt``, ``call`` (read-only), gas
+estimation and log queries.  ``wait_for_receipt`` triggers block production
+and advances the simulated clock by the slot time, so callers experience the
+same "submit, then wait ~12 s" rhythm as against Sepolia.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import UnknownTransactionError
+from repro.chain.account import Address
+from repro.chain.block import Block
+from repro.chain.chain import Blockchain, ChainConfig
+from repro.chain.events import EventLog, LogFilter
+from repro.chain.executor import BlockContext, ContractBackend
+from repro.chain.keys import KeyPair
+from repro.chain.receipts import TransactionReceipt
+from repro.chain.transaction import Transaction, encode_call, encode_create
+from repro.utils.clock import SimulatedClock
+
+
+class EthereumNode:
+    """Facade over the simulated chain, mirroring a web3 provider."""
+
+    def __init__(
+        self,
+        config: Optional[ChainConfig] = None,
+        backend: Optional[ContractBackend] = None,
+        clock: Optional[SimulatedClock] = None,
+        validators: Optional[List[Address]] = None,
+    ) -> None:
+        self.clock = clock or SimulatedClock()
+        self.chain = Blockchain(config=config, backend=backend, clock=self.clock, validators=validators)
+
+    # -- chain metadata ------------------------------------------------------
+
+    @property
+    def chain_id(self) -> int:
+        """Network chain id (Sepolia's 11155111 by default)."""
+        return self.chain.config.chain_id
+
+    @property
+    def block_number(self) -> int:
+        """Height of the latest block."""
+        return self.chain.height
+
+    def get_block(self, number_or_hash) -> Block:
+        """Fetch a block by number or hash."""
+        return self.chain.get_block(number_or_hash)
+
+    # -- account queries -----------------------------------------------------
+
+    def get_balance(self, address: Address | str) -> int:
+        """Balance of ``address`` in wei."""
+        return self.chain.state.balance_of(address)
+
+    def get_transaction_count(self, address: Address | str) -> int:
+        """Nonce (number of sent transactions) of ``address``."""
+        return self.chain.state.nonce_of(address)
+
+    def is_contract(self, address: Address | str) -> bool:
+        """Whether a contract is deployed at ``address``."""
+        return self.chain.state.get_account(address).is_contract
+
+    # -- transaction lifecycle -----------------------------------------------
+
+    def send_transaction(self, tx: Transaction) -> str:
+        """Queue a signed transaction; returns the transaction hash."""
+        return self.chain.submit_transaction(tx)
+
+    def sign_and_send(
+        self,
+        keypair: KeyPair,
+        to: Optional[Address | str],
+        value: int = 0,
+        data: bytes = b"",
+        gas_limit: Optional[int] = None,
+        gas_price: int = 10**9,
+    ) -> str:
+        """Convenience: build, sign and queue a transaction for ``keypair``."""
+        sender = Address(keypair.address)
+        tx = Transaction(
+            sender=sender,
+            to=Address(to) if to is not None else None,
+            value=value,
+            data=data,
+            nonce=self.pending_nonce(sender),
+            gas_limit=gas_limit if gas_limit is not None else 3_000_000,
+            gas_price=gas_price,
+        )
+        tx.sign(keypair)
+        return self.send_transaction(tx)
+
+    def pending_nonce(self, address: Address | str) -> int:
+        """Next usable nonce, accounting for queued-but-unmined transactions."""
+        addr = Address(address)
+        base = self.chain.state.nonce_of(addr)
+        queued = sum(1 for tx in self.chain.mempool.pending() if tx.sender == addr)
+        return base + queued
+
+    def wait_for_receipt(self, tx_hash: str, max_blocks: int = 25) -> TransactionReceipt:
+        """Produce blocks until ``tx_hash`` is included; return its receipt.
+
+        Advances the simulated clock by one slot per produced block, which is
+        the latency the Fig. 7 breakdown attributes to blockchain interaction.
+        """
+        for _ in range(max_blocks):
+            if self.chain.has_receipt(tx_hash):
+                return self.chain.get_receipt(tx_hash)
+            self.chain.produce_block()
+        if self.chain.has_receipt(tx_hash):
+            return self.chain.get_receipt(tx_hash)
+        raise UnknownTransactionError(
+            f"transaction {tx_hash} not included after {max_blocks} blocks"
+        )
+
+    def get_receipt(self, tx_hash: str) -> TransactionReceipt:
+        """Receipt of an already included transaction."""
+        return self.chain.get_receipt(tx_hash)
+
+    def get_transaction(self, tx_hash: str) -> Transaction:
+        """Look up a transaction (pending or included)."""
+        return self.chain.get_transaction(tx_hash)
+
+    # -- contract interaction --------------------------------------------------
+
+    def deploy_contract(
+        self,
+        keypair: KeyPair,
+        contract_name: str,
+        args: Optional[List[Any]] = None,
+        value: int = 0,
+        gas_limit: int = 3_000_000,
+        gas_price: int = 10**9,
+    ) -> str:
+        """Send a contract-creation transaction; returns the tx hash."""
+        data = encode_create(contract_name, args or [])
+        return self.sign_and_send(
+            keypair, to=None, value=value, data=data, gas_limit=gas_limit, gas_price=gas_price
+        )
+
+    def transact_contract(
+        self,
+        keypair: KeyPair,
+        contract_address: Address | str,
+        method: str,
+        args: Optional[List[Any]] = None,
+        value: int = 0,
+        gas_limit: int = 1_000_000,
+        gas_price: int = 10**9,
+    ) -> str:
+        """Send a state-changing contract call; returns the tx hash."""
+        data = encode_call(method, args or [])
+        return self.sign_and_send(
+            keypair,
+            to=Address(contract_address),
+            value=value,
+            data=data,
+            gas_limit=gas_limit,
+            gas_price=gas_price,
+        )
+
+    def call(
+        self,
+        contract_address: Address | str,
+        method: str,
+        args: Optional[List[Any]] = None,
+        caller: Optional[Address | str] = None,
+    ) -> Any:
+        """Read-only contract call (``eth_call``); free of gas fees."""
+        caller_address = Address(caller) if caller is not None else Address("0x" + "00" * 20)
+        return self.chain.executor.static_call(
+            self.chain.state,
+            caller_address,
+            Address(contract_address),
+            method,
+            args or [],
+            BlockContext(number=self.block_number, timestamp=self.clock.now),
+        )
+
+    def estimate_gas(self, tx: Transaction) -> int:
+        """Estimate gas for ``tx`` without including it."""
+        return self.chain.executor.estimate_gas(
+            tx, self.chain.state, BlockContext(number=self.block_number, timestamp=self.clock.now)
+        )
+
+    # -- logs ------------------------------------------------------------------
+
+    def get_logs(self, log_filter: Optional[LogFilter] = None) -> List[EventLog]:
+        """Query event logs on the canonical chain."""
+        return self.chain.logs(log_filter)
+
+    # -- mining control ---------------------------------------------------------
+
+    def mine(self, blocks: int = 1) -> List[Block]:
+        """Explicitly produce ``blocks`` blocks (advancing the clock each slot)."""
+        return [self.chain.produce_block() for _ in range(blocks)]

@@ -1,0 +1,180 @@
+"""Transactions: construction, signing, hashing and payload encoding.
+
+A transaction either
+
+* transfers value to an externally-owned account (``to`` set, empty data),
+* calls a contract method (``to`` set, ``data`` = encoded call), or
+* creates a contract (``to`` is ``None``, ``data`` = encoded constructor).
+
+Call payloads are canonical-JSON envelopes rather than ABI-packed bytes; the
+byte length of the envelope is what feeds calldata gas, which is the property
+the evaluation cares about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import InvalidSignatureError, InvalidTransactionError
+from repro.chain.account import Address
+from repro.chain.gas import GasSchedule, SEPOLIA_GAS_SCHEDULE
+from repro.chain.keys import KeyPair, Signature, recover_address
+from repro.utils.encoding import to_hex
+from repro.utils.hashing import keccak256
+from repro.utils.serialization import canonical_dumps, canonical_loads, rlp_encode
+
+
+def encode_call(method: str, args: List[Any]) -> bytes:
+    """Encode a contract method call into calldata bytes."""
+    return canonical_dumps({"method": method, "args": list(args)}).encode("utf-8")
+
+
+def encode_create(contract_name: str, args: List[Any]) -> bytes:
+    """Encode a contract-creation payload into calldata bytes."""
+    return canonical_dumps({"create": contract_name, "args": list(args)}).encode("utf-8")
+
+
+def decode_payload(data: bytes) -> Dict[str, Any]:
+    """Decode calldata produced by :func:`encode_call` / :func:`encode_create`."""
+    if not data:
+        return {}
+    try:
+        payload = canonical_loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise InvalidTransactionError(f"undecodable calldata: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise InvalidTransactionError("calldata must decode to an object")
+    return payload
+
+
+@dataclass
+class Transaction:
+    """A (possibly signed) transaction.
+
+    Attributes
+    ----------
+    sender:
+        Address of the originating externally-owned account.
+    to:
+        Destination address, or ``None`` for contract creation.
+    value:
+        Amount of wei transferred to ``to`` (or to the created contract).
+    data:
+        Calldata bytes (see :func:`encode_call` / :func:`encode_create`).
+    nonce:
+        Sender's transaction count at submission time.
+    gas_limit / gas_price:
+        Standard Ethereum fee fields; the maximum fee is
+        ``gas_limit * gas_price`` wei.
+    """
+
+    sender: Address
+    to: Optional[Address]
+    value: int = 0
+    data: bytes = b""
+    nonce: int = 0
+    gas_limit: int = 21_000
+    gas_price: int = 10**9
+    signature: Optional[Signature] = None
+
+    def __post_init__(self) -> None:
+        self.sender = Address(self.sender)
+        if self.to is not None:
+            self.to = Address(self.to)
+        if self.value < 0:
+            raise InvalidTransactionError(f"negative value: {self.value}")
+        if self.gas_limit <= 0:
+            raise InvalidTransactionError(f"non-positive gas limit: {self.gas_limit}")
+        if self.gas_price < 0:
+            raise InvalidTransactionError(f"negative gas price: {self.gas_price}")
+        if self.nonce < 0:
+            raise InvalidTransactionError(f"negative nonce: {self.nonce}")
+        if not isinstance(self.data, (bytes, bytearray)):
+            raise InvalidTransactionError("data must be bytes")
+        self.data = bytes(self.data)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def is_create(self) -> bool:
+        """Whether this transaction creates a contract."""
+        return self.to is None
+
+    def signing_payload(self) -> bytes:
+        """The RLP-style byte string that is hashed and signed."""
+        return rlp_encode([
+            self.nonce,
+            self.gas_price,
+            self.gas_limit,
+            (str(self.to).lower() if self.to is not None else ""),
+            self.value,
+            self.data,
+            str(self.sender).lower(),
+        ])
+
+    @property
+    def hash(self) -> bytes:
+        """32-byte transaction hash (over the unsigned payload)."""
+        return keccak256(self.signing_payload())
+
+    @property
+    def hash_hex(self) -> str:
+        """Hex-encoded transaction hash, as shown by explorers."""
+        return to_hex(self.hash)
+
+    # -- signing ------------------------------------------------------------
+
+    def sign(self, keypair: KeyPair) -> "Transaction":
+        """Sign in place with ``keypair`` (must match :attr:`sender`)."""
+        if Address(keypair.address) != self.sender:
+            raise InvalidSignatureError(
+                f"keypair address {keypair.address} does not match sender {self.sender}"
+            )
+        self.signature = keypair.sign(self.hash)
+        return self
+
+    def verify_signature(self) -> bool:
+        """Check that the attached signature was produced by :attr:`sender`."""
+        if self.signature is None:
+            return False
+        try:
+            recovered = recover_address(self.signature, self.hash)
+        except InvalidSignatureError:
+            return False
+        return Address(recovered) == self.sender
+
+    # -- gas ----------------------------------------------------------------
+
+    def intrinsic_gas(self, schedule: GasSchedule = SEPOLIA_GAS_SCHEDULE) -> int:
+        """Intrinsic gas charged before any execution."""
+        return schedule.intrinsic_gas(self.data, self.is_create)
+
+    def max_fee(self) -> int:
+        """Upper bound on the fee in wei (``gas_limit * gas_price``)."""
+        return self.gas_limit * self.gas_price
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (as returned by the node API)."""
+        return {
+            "hash": self.hash_hex,
+            "sender": str(self.sender),
+            "to": str(self.to) if self.to is not None else None,
+            "value": self.value,
+            "data": to_hex(self.data) if self.data else "0x",
+            "nonce": self.nonce,
+            "gas_limit": self.gas_limit,
+            "gas_price": self.gas_price,
+            "signature": self.signature.to_dict() if self.signature else None,
+        }
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate wire size of the transaction in bytes."""
+        return len(self.signing_payload()) + (3 * 32 if self.signature else 0)
+
+    def decoded_payload(self) -> Dict[str, Any]:
+        """Decode the calldata envelope (empty dict for plain transfers)."""
+        return decode_payload(self.data)

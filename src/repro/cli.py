@@ -1,0 +1,231 @@
+"""Command-line interface for the OFL-W3 reproduction.
+
+Subcommands
+-----------
+``run``
+    Run the end-to-end marketplace (quick or paper preset, overridable) and
+    print the headline results; optionally save the full report to JSON.
+``gas-report``
+    Replay only the on-chain side of the workflow and print the Fig. 5 fee
+    table plus the CID-vs-model storage comparison.
+``model-quality``
+    Run only the ML side (local training + one-shot aggregation + LOO) and
+    print the Fig. 4 / Fig. 6 series.
+``show``
+    Pretty-print a previously saved report JSON.
+``info``
+    Print the library version and the subsystems it provides.
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OFL-W3: one-shot federated learning on a simulated Web 3.0 stack",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run_parser = subparsers.add_parser("run", help="run the end-to-end marketplace")
+    run_parser.add_argument("--preset", choices=["quick", "paper"], default="quick",
+                            help="experiment scale (default: quick)")
+    run_parser.add_argument("--owners", type=int, default=None, help="override the owner count")
+    run_parser.add_argument("--epochs", type=int, default=None, help="override local epochs")
+    run_parser.add_argument("--aggregator", default=None,
+                            choices=["pfnm", "mean", "ensemble"], help="one-shot aggregator")
+    run_parser.add_argument("--seed", type=int, default=None, help="override the random seed")
+    run_parser.add_argument("--save", default=None, metavar="PATH",
+                            help="save the full report to a JSON file")
+
+    gas_parser = subparsers.add_parser("gas-report", help="print the Fig. 5 gas-fee analysis")
+    gas_parser.add_argument("--owners", type=int, default=10)
+    gas_parser.add_argument("--gas-price-gwei", type=float, default=1.0)
+
+    quality_parser = subparsers.add_parser("model-quality",
+                                           help="print the Fig. 4 / Fig. 6 model-quality analysis")
+    quality_parser.add_argument("--owners", type=int, default=10)
+    quality_parser.add_argument("--epochs", type=int, default=10)
+    quality_parser.add_argument("--samples", type=int, default=20_000)
+    quality_parser.add_argument("--seed", type=int, default=7)
+
+    show_parser = subparsers.add_parser("show", help="summarize a saved report JSON")
+    show_parser.add_argument("path", help="path to a report saved with 'run --save'")
+
+    subparsers.add_parser("info", help="print version and subsystem inventory")
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    """Implement the ``run`` subcommand."""
+    from repro.system import paper_config, quick_config, run_marketplace
+    from repro.system.artifacts import save_report
+    from repro.utils.units import format_ether
+
+    overrides = {}
+    if args.owners is not None:
+        overrides["num_owners"] = args.owners
+    if args.epochs is not None:
+        overrides["local_epochs"] = args.epochs
+    if args.aggregator is not None:
+        overrides["aggregator"] = args.aggregator
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = paper_config(**overrides) if args.preset == "paper" else quick_config(**overrides)
+
+    print(f"running the OFL-W3 marketplace ({args.preset} preset, "
+          f"{config.num_owners} owners, aggregator={config.aggregator})...")
+    report = run_marketplace(config)
+
+    print(f"\naggregate accuracy ({report.aggregate_algorithm}): {report.aggregate_accuracy:.4f}")
+    print(f"local accuracies: {[round(a, 3) for a in report.local_accuracies]}")
+    print(f"margin over worst local: {report.accuracy_margin_over_worst:.4f}")
+    print(f"total paid: {format_ether(report.total_paid_wei)} ETH "
+          f"of {format_ether(report.config.budget_wei)} ETH budget")
+    owner_time = report.owner_time_breakdown()
+    print(f"owner time {owner_time.total:.0f}s, buyer time {report.buyer_breakdown.total:.0f}s "
+          f"(blockchain dominates both)")
+    if args.save:
+        target = save_report(report, args.save)
+        print(f"full report saved to {target}")
+    return 0
+
+
+def _run_gas_report(owners: int, gas_price_gwei: float) -> int:
+    """Print the gas-fee table (shared by the CLI and tests)."""
+    from repro.chain import EthereumNode, Faucet, KeyPair
+    from repro.contracts import default_registry
+    from repro.system.costs import build_gas_cost_report, estimate_onchain_model_storage_gas
+    from repro.utils.units import ether_to_wei, format_ether, gwei_to_wei
+
+    gas_price = gwei_to_wei(str(gas_price_gwei))
+    node = EthereumNode(backend=default_registry())
+    faucet = Faucet(node)
+    buyer = KeyPair.from_label("cli-gas-buyer")
+    faucet.drip(buyer.address, ether_to_wei(2))
+
+    spec = {"task": "digit-classification", "model": [784, 100, 10], "max_owners": owners}
+    deployment = node.wait_for_receipt(
+        node.deploy_contract(buyer, "FLTask", [spec], value=ether_to_wei("0.01"),
+                             gas_price=gas_price)
+    )
+    task = deployment.contract_address
+    for index in range(owners):
+        keys = KeyPair.from_label(f"cli-gas-owner-{index}")
+        faucet.drip(keys.address, ether_to_wei("0.05"))
+        node.wait_for_receipt(
+            node.transact_contract(keys, task, "registerOwner", [], gas_price=gas_price))
+        node.wait_for_receipt(
+            node.transact_contract(keys, task, "uploadCid", [f"Qm{index:044d}"],
+                                   gas_price=gas_price))
+        node.wait_for_receipt(
+            node.transact_contract(buyer, task, "payOwner",
+                                   [keys.address, ether_to_wei("0.01") // owners],
+                                   gas_price=gas_price))
+
+    report = build_gas_cost_report(node.chain)
+    print(f"{'category':<26}{'count':>6}{'mean gas':>14}{'mean fee (ETH)':>18}")
+    for name, row in sorted(report.rows.items(), key=lambda kv: -kv[1].mean_fee_wei):
+        print(f"{name:<26}{row.count:>6}{row.mean_gas:>14,.0f}{row.mean_fee_eth:>18}")
+    estimate = estimate_onchain_model_storage_gas(node.chain, 318_132)
+    print(f"\nCID on-chain: {estimate['cid_storage_gas']:,} gas "
+          f"({format_ether(estimate['cid_storage_gas'] * gas_price)} ETH); "
+          f"whole model on-chain: {estimate['model_storage_gas']:,} gas "
+          f"({format_ether(estimate['model_storage_gas'] * gas_price)} ETH); "
+          f"ratio {estimate['gas_ratio']:.0f}x")
+    return 0
+
+
+def _run_model_quality(owners: int, epochs: int, samples: int, seed: int) -> int:
+    """Print the Fig. 4 / Fig. 6 series (shared by the CLI and tests)."""
+    from repro.data import (SyntheticMnistConfig, generate_synthetic_mnist,
+                            partition_dataset, train_test_split)
+    from repro.fl import FLClient, OneShotServer
+    from repro.fl.oneshot import make_aggregator
+    from repro.incentives import leave_one_out
+    from repro.ml import TrainingConfig
+    from repro.ml.trainer import evaluate_model
+
+    dataset = generate_synthetic_mnist(
+        SyntheticMnistConfig(num_samples=samples, class_similarity=0.5, noise_scale=0.4,
+                             variation_scale=1.2, variation_rank=24, seed=seed)
+    )
+    train, test = train_test_split(dataset, test_fraction=0.15, rng=seed)
+    shards = partition_dataset(train, owners, scheme="dirichlet", alpha=0.35, rng=seed)
+    server = OneShotServer(aggregator=make_aggregator("pfnm"))
+    local_accuracies = []
+    for index, shard in enumerate(shards):
+        client = FLClient(f"owner-{index}", shard,
+                          config=TrainingConfig(epochs=epochs, seed=seed + index),
+                          seed=seed + index)
+        result = client.train_local()
+        server.submit(result.update)
+        accuracy = evaluate_model(client.model, test.features, test.labels).accuracy
+        local_accuracies.append(accuracy)
+        print(f"owner {index}: {len(shard)} samples, local accuracy {accuracy:.4f}")
+    aggregate = server.aggregate()
+    aggregate_accuracy = aggregate.evaluate(test)
+    print(f"aggregate (pfnm): {aggregate_accuracy:.4f} "
+          f"(margin over worst local {aggregate_accuracy - min(local_accuracies):+.4f})")
+
+    def value_fn(subset):
+        return server.aggregate(subset=list(subset)).evaluate(test) if subset else 0.0
+
+    loo = leave_one_out(owners, value_fn)
+    for owner in range(owners):
+        print(f"drop owner {owner}: accuracy {loo.drop_values[owner]:.4f}")
+    print(f"least useful owner: {loo.least_useful()}")
+    return 0
+
+
+def _command_show(path: str) -> int:
+    """Implement the ``show`` subcommand."""
+    from repro.system.artifacts import load_report, summarize_report
+
+    payload = load_report(path)
+    print(summarize_report(payload))
+    return 0
+
+
+def _command_info() -> int:
+    """Implement the ``info`` subcommand."""
+    print(f"repro {__version__} - OFL-W3 reproduction")
+    print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, system")
+    print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "gas-report":
+        return _run_gas_report(args.owners, args.gas_price_gwei)
+    if args.command == "model-quality":
+        return _run_model_quality(args.owners, args.epochs, args.samples, args.seed)
+    if args.command == "show":
+        return _command_show(args.path)
+    if args.command == "info":
+        return _command_info()
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

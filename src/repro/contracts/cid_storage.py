@@ -1,0 +1,83 @@
+"""The ``CidStorage`` contract from Fig. 2 of the paper.
+
+Solidity original (abridged)::
+
+    contract CidStorage {
+        uint256 public cidCount;
+        function uploadCid(string memory cid) public {
+            cids[cidCount] = cid;
+            cidCount++;
+            emit CidUploaded(cid);
+        }
+        function getCid(uint256 index) public view returns (string memory) {
+            require(index < cidCount, "Invalid CID index");
+            return cids[index];
+        }
+    }
+
+The reproduction adds the uploader address next to each CID (the paper's
+workflow needs to know which owner submitted which model in order to pay
+them), which the original demo tracks via MetaMask transaction senders.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.chain.executor import CallContext
+from repro.contracts.framework import Contract, external, view
+
+
+class CidStorage(Contract):
+    """Stores IPFS CIDs submitted by model owners."""
+
+    def constructor(self, ctx: CallContext) -> None:
+        """Deploy the contract; the deployer becomes its owner."""
+        self.sstore(ctx, "owner", str(ctx.caller))
+        self.sstore(ctx, "cidCount", 0)
+
+    # -- writes -----------------------------------------------------------------
+
+    @external
+    def uploadCid(self, ctx: CallContext, cid: str) -> int:
+        """Append a CID; returns its index (Step 4 of the workflow)."""
+        self.require(isinstance(cid, str) and len(cid) > 0, "empty CID")
+        self.require(len(cid) <= 128, "CID too long")
+        count = self.sload(ctx, "cidCount", 0)
+        self.sstore(ctx, f"cids/{count}", cid)
+        self.sstore(ctx, f"uploaders/{count}", str(ctx.caller))
+        self.sstore(ctx, "cidCount", count + 1)
+        ctx.emit("CidUploaded", cid=cid, index=count, uploader=str(ctx.caller))
+        return count
+
+    # -- reads ------------------------------------------------------------------
+
+    @view
+    def cidCount(self, ctx: CallContext) -> int:
+        """Number of CIDs stored so far."""
+        return self.sload(ctx, "cidCount", 0)
+
+    @view
+    def getCid(self, ctx: CallContext, index: int) -> str:
+        """Return the CID at ``index`` (reverts on an invalid index)."""
+        count = self.sload(ctx, "cidCount", 0)
+        self.require(isinstance(index, int) and 0 <= index < count, "Invalid CID index")
+        return self.sload(ctx, f"cids/{index}")
+
+    @view
+    def getUploader(self, ctx: CallContext, index: int) -> str:
+        """Address of the account that uploaded the CID at ``index``."""
+        count = self.sload(ctx, "cidCount", 0)
+        self.require(isinstance(index, int) and 0 <= index < count, "Invalid CID index")
+        return self.sload(ctx, f"uploaders/{index}")
+
+    @view
+    def getAllCids(self, ctx: CallContext) -> List[str]:
+        """All CIDs in upload order (Step 5: downloading CIDs is gas-free)."""
+        count = self.sload(ctx, "cidCount", 0)
+        return [self.sload(ctx, f"cids/{i}") for i in range(count)]
+
+    @view
+    def owner(self, ctx: CallContext) -> str:
+        """Address that deployed the contract."""
+        return self.sload(ctx, "owner")

@@ -1,0 +1,193 @@
+"""The OFL-W3 task contract: specification, CID registry, escrow and payment.
+
+``FLTask`` is the contract the model buyer deploys in Step 1 of the paper's
+workflow.  It extends the bare ``CidStorage`` behaviour with everything the
+marketplace needs:
+
+* the ML task specification (model architecture, dataset description, the
+  one-shot FL algorithm the buyer will run, auxiliary requirements);
+* an escrowed reward budget in wei, deposited at deployment time;
+* registration of participating model owners and their CID submissions;
+* buyer-initiated payments drawn from the escrow, recorded per owner;
+* a finalization step that returns any unspent escrow to the buyer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.chain.executor import CallContext
+from repro.contracts.framework import Contract, external, payable, view
+
+
+class FLTask(Contract):
+    """One one-shot FL task: spec + CIDs + escrowed payments."""
+
+    # -- deployment ---------------------------------------------------------------
+
+    def constructor(self, ctx: CallContext, task_spec: Dict[str, Any]) -> None:
+        """Deploy a task.
+
+        Parameters
+        ----------
+        task_spec:
+            Free-form specification dictionary; expected keys include
+            ``task`` (e.g. ``"digit-classification"``), ``model`` (layer
+            sizes), ``algorithm`` (e.g. ``"pfnm"``) and ``max_owners``.
+            The escrowed budget is ``ctx.value`` (sent with the deployment).
+        """
+        self.require(isinstance(task_spec, dict) and len(task_spec) > 0, "empty task spec")
+        self.sstore(ctx, "buyer", str(ctx.caller))
+        self.sstore(ctx, "spec", dict(task_spec))
+        self.sstore(ctx, "budget", ctx.value)
+        self.sstore(ctx, "paid_total", 0)
+        self.sstore(ctx, "cidCount", 0)
+        self.sstore(ctx, "finalized", False)
+        self.sstore(ctx, "max_owners", int(task_spec.get("max_owners", 100)))
+        ctx.emit("TaskCreated", buyer=str(ctx.caller), budget=ctx.value,
+                 task=task_spec.get("task", ""))
+
+    # -- owner participation ---------------------------------------------------------
+
+    @external
+    def registerOwner(self, ctx: CallContext) -> int:
+        """Register the caller as a participating model owner (Step 2)."""
+        self.require(not self.sload(ctx, "finalized", False), "task finalized")
+        owners: List[str] = self.sload(ctx, "owners", [])
+        caller = str(ctx.caller)
+        self.require(caller not in owners, "owner already registered")
+        self.require(len(owners) < self.sload(ctx, "max_owners", 100), "owner limit reached")
+        owners = owners + [caller]
+        self.sstore(ctx, "owners", owners)
+        ctx.emit("OwnerRegistered", owner=caller, index=len(owners) - 1)
+        return len(owners) - 1
+
+    @external
+    def uploadCid(self, ctx: CallContext, cid: str) -> int:
+        """Submit the IPFS CID of the caller's model (Step 4)."""
+        self.require(not self.sload(ctx, "finalized", False), "task finalized")
+        self.require(isinstance(cid, str) and 0 < len(cid) <= 128, "invalid CID")
+        owners: List[str] = self.sload(ctx, "owners", [])
+        caller = str(ctx.caller)
+        self.require(caller in owners, "caller is not a registered owner")
+        submitted: Dict[str, str] = self.sload(ctx, "submitted", {})
+        self.require(caller not in submitted, "owner already submitted a CID")
+        count = self.sload(ctx, "cidCount", 0)
+        self.sstore(ctx, f"cids/{count}", cid)
+        self.sstore(ctx, f"uploaders/{count}", caller)
+        self.sstore(ctx, "cidCount", count + 1)
+        submitted = dict(submitted)
+        submitted[caller] = cid
+        self.sstore(ctx, "submitted", submitted)
+        ctx.emit("CidUploaded", cid=cid, index=count, uploader=caller)
+        return count
+
+    # -- escrow and payments ------------------------------------------------------------
+
+    @payable
+    def deposit(self, ctx: CallContext) -> int:
+        """Add funds to the reward escrow (buyer only); returns new budget."""
+        self.require(str(ctx.caller) == self.sload(ctx, "buyer"), "only the buyer may deposit")
+        budget = self.sload(ctx, "budget", 0) + ctx.value
+        self.sstore(ctx, "budget", budget)
+        ctx.emit("Deposited", amount=ctx.value, budget=budget)
+        return budget
+
+    @external
+    def payOwner(self, ctx: CallContext, owner: str, amount_wei: int) -> int:
+        """Pay ``amount_wei`` from the escrow to ``owner`` (Step 7)."""
+        self.require(str(ctx.caller) == self.sload(ctx, "buyer"), "only the buyer may pay")
+        self.require(not self.sload(ctx, "finalized", False), "task finalized")
+        self.require(isinstance(amount_wei, int) and amount_wei > 0, "invalid payment amount")
+        owners: List[str] = self.sload(ctx, "owners", [])
+        self.require(owner in owners, "payee is not a registered owner")
+        budget = self.sload(ctx, "budget", 0)
+        paid_total = self.sload(ctx, "paid_total", 0)
+        self.require(paid_total + amount_wei <= budget, "payment exceeds escrowed budget")
+        payments: Dict[str, int] = dict(self.sload(ctx, "payments", {}))
+        ctx.transfer_out(owner, amount_wei)
+        payments[owner] = payments.get(owner, 0) + amount_wei
+        self.sstore(ctx, "payments", payments)
+        self.sstore(ctx, "paid_total", paid_total + amount_wei)
+        ctx.emit("PaymentSent", owner=owner, amount=amount_wei)
+        return payments[owner]
+
+    @external
+    def finalize(self, ctx: CallContext) -> int:
+        """Close the task and refund unspent escrow to the buyer."""
+        buyer = self.sload(ctx, "buyer")
+        self.require(str(ctx.caller) == buyer, "only the buyer may finalize")
+        self.require(not self.sload(ctx, "finalized", False), "already finalized")
+        refund = self.sload(ctx, "budget", 0) - self.sload(ctx, "paid_total", 0)
+        if refund > 0:
+            ctx.transfer_out(buyer, refund)
+        self.sstore(ctx, "finalized", True)
+        ctx.emit("TaskFinalized", refund=refund)
+        return refund
+
+    # -- reads ----------------------------------------------------------------------
+
+    @view
+    def buyer(self, ctx: CallContext) -> str:
+        """Address of the model buyer who deployed the task."""
+        return self.sload(ctx, "buyer")
+
+    @view
+    def spec(self, ctx: CallContext) -> Dict[str, Any]:
+        """The ML task specification dictionary."""
+        return self.sload(ctx, "spec", {})
+
+    @view
+    def budget(self, ctx: CallContext) -> int:
+        """Escrowed reward budget in wei."""
+        return self.sload(ctx, "budget", 0)
+
+    @view
+    def paidTotal(self, ctx: CallContext) -> int:
+        """Total wei already paid out to owners."""
+        return self.sload(ctx, "paid_total", 0)
+
+    @view
+    def owners(self, ctx: CallContext) -> List[str]:
+        """Registered owner addresses, in registration order."""
+        return list(self.sload(ctx, "owners", []))
+
+    @view
+    def cidCount(self, ctx: CallContext) -> int:
+        """Number of submitted CIDs."""
+        return self.sload(ctx, "cidCount", 0)
+
+    @view
+    def getCid(self, ctx: CallContext, index: int) -> str:
+        """CID at ``index`` (reverts on an invalid index)."""
+        count = self.sload(ctx, "cidCount", 0)
+        self.require(isinstance(index, int) and 0 <= index < count, "Invalid CID index")
+        return self.sload(ctx, f"cids/{index}")
+
+    @view
+    def getUploader(self, ctx: CallContext, index: int) -> str:
+        """Uploader address of the CID at ``index``."""
+        count = self.sload(ctx, "cidCount", 0)
+        self.require(isinstance(index, int) and 0 <= index < count, "Invalid CID index")
+        return self.sload(ctx, f"uploaders/{index}")
+
+    @view
+    def getAllCids(self, ctx: CallContext) -> List[str]:
+        """All submitted CIDs in order (gas-free read, Step 5)."""
+        count = self.sload(ctx, "cidCount", 0)
+        return [self.sload(ctx, f"cids/{i}") for i in range(count)]
+
+    @view
+    def getSubmissions(self, ctx: CallContext) -> Dict[str, str]:
+        """Mapping owner address -> submitted CID."""
+        return dict(self.sload(ctx, "submitted", {}))
+
+    @view
+    def payments(self, ctx: CallContext) -> Dict[str, int]:
+        """Mapping owner address -> total wei paid so far (Table 1 data)."""
+        return dict(self.sload(ctx, "payments", {}))
+
+    @view
+    def isFinalized(self, ctx: CallContext) -> bool:
+        """Whether the task has been finalized."""
+        return bool(self.sload(ctx, "finalized", False))

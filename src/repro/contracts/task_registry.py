@@ -1,0 +1,97 @@
+"""A marketplace-wide task registry contract.
+
+The paper's workflow assumes owners "find the smart contract using its
+address", i.e. discovery happens off-band.  The natural marketplace
+extension -- mentioned as the kind of future direction the paper closes with
+-- is an on-chain registry where buyers announce their task contracts and
+owners browse open tasks without any off-chain coordination.  ``TaskRegistry``
+provides exactly that: announce, deactivate, and list/query tasks with their
+specification summaries and reward budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.chain.executor import CallContext
+from repro.contracts.framework import Contract, external, view
+
+
+class TaskRegistry(Contract):
+    """On-chain index of announced FL tasks."""
+
+    def constructor(self, ctx: CallContext) -> None:
+        """Deploy an empty registry; the deployer becomes its administrator."""
+        self.sstore(ctx, "owner", str(ctx.caller))
+        self.sstore(ctx, "taskCount", 0)
+
+    # -- writes ---------------------------------------------------------------------
+
+    @external
+    def announceTask(self, ctx: CallContext, task_address: str, summary: Dict[str, Any]) -> int:
+        """Announce a deployed FLTask contract; returns its registry index.
+
+        ``summary`` is a small free-form dictionary (task name, model shape,
+        reward); the authoritative specification still lives on the task
+        contract itself.
+        """
+        self.require(isinstance(task_address, str) and task_address.startswith("0x"),
+                     "invalid task address")
+        self.require(isinstance(summary, dict) and len(summary) > 0, "empty task summary")
+        announced: Dict[str, int] = self.sload(ctx, "announced", {})
+        self.require(task_address not in announced, "task already announced")
+        index = self.sload(ctx, "taskCount", 0)
+        record = {
+            "task_address": task_address,
+            "buyer": str(ctx.caller),
+            "summary": dict(summary),
+            "active": True,
+        }
+        self.sstore(ctx, f"tasks/{index}", record)
+        announced = dict(announced)
+        announced[task_address] = index
+        self.sstore(ctx, "announced", announced)
+        self.sstore(ctx, "taskCount", index + 1)
+        ctx.emit("TaskAnnounced", index=index, task_address=task_address, buyer=str(ctx.caller))
+        return index
+
+    @external
+    def deactivateTask(self, ctx: CallContext, index: int) -> bool:
+        """Mark a task as closed (only its announcer may do this)."""
+        count = self.sload(ctx, "taskCount", 0)
+        self.require(isinstance(index, int) and 0 <= index < count, "invalid task index")
+        record = dict(self.sload(ctx, f"tasks/{index}"))
+        self.require(str(ctx.caller) == record["buyer"], "only the announcer may deactivate")
+        self.require(record["active"], "task already inactive")
+        record["active"] = False
+        self.sstore(ctx, f"tasks/{index}", record)
+        ctx.emit("TaskDeactivated", index=index, task_address=record["task_address"])
+        return True
+
+    # -- reads ----------------------------------------------------------------------
+
+    @view
+    def taskCount(self, ctx: CallContext) -> int:
+        """Number of tasks ever announced."""
+        return self.sload(ctx, "taskCount", 0)
+
+    @view
+    def getTask(self, ctx: CallContext, index: int) -> Dict[str, Any]:
+        """Full registry record of the task at ``index``."""
+        count = self.sload(ctx, "taskCount", 0)
+        self.require(isinstance(index, int) and 0 <= index < count, "invalid task index")
+        return dict(self.sload(ctx, f"tasks/{index}"))
+
+    @view
+    def listActiveTasks(self, ctx: CallContext) -> List[Dict[str, Any]]:
+        """All currently active tasks (what an owner's DApp would browse)."""
+        count = self.sload(ctx, "taskCount", 0)
+        records = [dict(self.sload(ctx, f"tasks/{i}")) for i in range(count)]
+        return [record for record in records if record.get("active")]
+
+    @view
+    def findByAddress(self, ctx: CallContext, task_address: str) -> int:
+        """Registry index of an announced task contract (reverts if unknown)."""
+        announced: Dict[str, int] = self.sload(ctx, "announced", {})
+        self.require(task_address in announced, "task not announced")
+        return announced[task_address]

@@ -1,0 +1,115 @@
+"""A minimal fungible token (ERC-20 style).
+
+The paper pays owners in native (Sepolia) ETH, but frames rewards as
+"tokens"; this contract lets the incentive ablation experiments pay owners in
+an application token instead of native currency, exercising the same
+contract-call gas paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.chain.executor import CallContext
+from repro.contracts.framework import Contract, external, view
+
+
+class Token(Contract):
+    """A fixed-supply fungible token with allowances."""
+
+    def constructor(self, ctx: CallContext, name: str, symbol: str, initial_supply: int) -> None:
+        """Deploy the token, minting ``initial_supply`` units to the deployer."""
+        self.require(isinstance(initial_supply, int) and initial_supply >= 0, "bad supply")
+        self.require(isinstance(name, str) and name, "empty token name")
+        self.require(isinstance(symbol, str) and symbol, "empty token symbol")
+        deployer = str(ctx.caller)
+        self.sstore(ctx, "name", name)
+        self.sstore(ctx, "symbol", symbol)
+        self.sstore(ctx, "totalSupply", initial_supply)
+        self.sstore(ctx, "balances", {deployer: initial_supply})
+        self.sstore(ctx, "allowances", {})
+        self.sstore(ctx, "owner", deployer)
+        ctx.emit("Transfer", sender="0x" + "00" * 20, recipient=deployer, amount=initial_supply)
+
+    # -- reads -----------------------------------------------------------------
+
+    @view
+    def name(self, ctx: CallContext) -> str:
+        """Token name."""
+        return self.sload(ctx, "name")
+
+    @view
+    def symbol(self, ctx: CallContext) -> str:
+        """Token ticker symbol."""
+        return self.sload(ctx, "symbol")
+
+    @view
+    def totalSupply(self, ctx: CallContext) -> int:
+        """Total number of token units in existence."""
+        return self.sload(ctx, "totalSupply", 0)
+
+    @view
+    def balanceOf(self, ctx: CallContext, account: str) -> int:
+        """Token balance of ``account``."""
+        balances: Dict[str, int] = self.sload(ctx, "balances", {})
+        return balances.get(account, 0)
+
+    @view
+    def allowance(self, ctx: CallContext, owner: str, spender: str) -> int:
+        """Remaining allowance ``spender`` may transfer on behalf of ``owner``."""
+        allowances: Dict[str, int] = self.sload(ctx, "allowances", {})
+        return allowances.get(f"{owner}->{spender}", 0)
+
+    # -- writes ----------------------------------------------------------------
+
+    @external
+    def transfer(self, ctx: CallContext, recipient: str, amount: int) -> bool:
+        """Move ``amount`` tokens from the caller to ``recipient``."""
+        self._move(ctx, str(ctx.caller), recipient, amount)
+        return True
+
+    @external
+    def approve(self, ctx: CallContext, spender: str, amount: int) -> bool:
+        """Allow ``spender`` to transfer up to ``amount`` on the caller's behalf."""
+        self.require(isinstance(amount, int) and amount >= 0, "bad allowance")
+        allowances: Dict[str, int] = dict(self.sload(ctx, "allowances", {}))
+        allowances[f"{ctx.caller}->{spender}"] = amount
+        self.sstore(ctx, "allowances", allowances)
+        ctx.emit("Approval", owner=str(ctx.caller), spender=spender, amount=amount)
+        return True
+
+    @external
+    def transferFrom(self, ctx: CallContext, owner: str, recipient: str, amount: int) -> bool:
+        """Transfer from ``owner`` to ``recipient`` using the caller's allowance."""
+        key = f"{owner}->{ctx.caller}"
+        allowances: Dict[str, int] = dict(self.sload(ctx, "allowances", {}))
+        allowed = allowances.get(key, 0)
+        self.require(allowed >= amount, "allowance exceeded")
+        self._move(ctx, owner, recipient, amount)
+        allowances[key] = allowed - amount
+        self.sstore(ctx, "allowances", allowances)
+        return True
+
+    @external
+    def mint(self, ctx: CallContext, recipient: str, amount: int) -> bool:
+        """Create new tokens (contract owner only)."""
+        self.require(str(ctx.caller) == self.sload(ctx, "owner"), "only owner may mint")
+        self.require(isinstance(amount, int) and amount > 0, "bad mint amount")
+        balances: Dict[str, int] = dict(self.sload(ctx, "balances", {}))
+        balances[recipient] = balances.get(recipient, 0) + amount
+        self.sstore(ctx, "balances", balances)
+        self.sstore(ctx, "totalSupply", self.sload(ctx, "totalSupply", 0) + amount)
+        ctx.emit("Transfer", sender="0x" + "00" * 20, recipient=recipient, amount=amount)
+        return True
+
+    # -- internal ----------------------------------------------------------------
+
+    def _move(self, ctx: CallContext, sender: str, recipient: str, amount: int) -> None:
+        """Shared balance-moving logic with validation."""
+        self.require(isinstance(amount, int) and amount > 0, "bad transfer amount")
+        balances: Dict[str, int] = dict(self.sload(ctx, "balances", {}))
+        self.require(balances.get(sender, 0) >= amount, "insufficient token balance")
+        balances[sender] = balances.get(sender, 0) - amount
+        balances[recipient] = balances.get(recipient, 0) + amount
+        self.sstore(ctx, "balances", balances)
+        ctx.emit("Transfer", sender=sender, recipient=recipient, amount=amount)

@@ -1,0 +1,83 @@
+"""A small immutable dataset container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Features and integer labels, with convenience accessors."""
+
+    features: np.ndarray
+    labels: np.ndarray
+    num_classes: int
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=np.float64)
+        labels = np.asarray(self.labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ShapeError(f"features must be 2-D, got shape {features.shape}")
+        if labels.ndim != 1 or labels.shape[0] != features.shape[0]:
+            raise ShapeError(
+                f"labels must be 1-D with one entry per sample, got {labels.shape} "
+                f"for {features.shape[0]} samples"
+            )
+        if self.num_classes <= 0:
+            raise ShapeError(f"num_classes must be positive, got {self.num_classes}")
+        if labels.size and (labels.min() < 0 or labels.max() >= self.num_classes):
+            raise ShapeError(
+                f"labels must lie in [0, {self.num_classes}), got range "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "labels", labels)
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_features(self) -> int:
+        """Dimensionality of each sample."""
+        return self.features.shape[1]
+
+    def subset(self, indices: Sequence[int]) -> "Dataset":
+        """A new dataset restricted to ``indices`` (order preserved)."""
+        index_array = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            features=self.features[index_array],
+            labels=self.labels[index_array],
+            num_classes=self.num_classes,
+        )
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class (length ``num_classes``)."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def shuffled(self, rng=None) -> "Dataset":
+        """A copy with samples in random order."""
+        indices = np.arange(len(self))
+        make_rng(rng).shuffle(indices)
+        return self.subset(indices)
+
+
+def train_test_split(dataset: Dataset, test_fraction: float = 0.2, rng=None) -> Tuple[Dataset, Dataset]:
+    """Split a dataset into train and test portions after shuffling.
+
+    The split is stratification-free but shuffled, which is sufficient for the
+    synthetic dataset's balanced classes.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    indices = np.arange(len(dataset))
+    make_rng(rng).shuffle(indices)
+    test_count = int(round(len(dataset) * test_fraction))
+    test_indices = indices[:test_count]
+    train_indices = indices[test_count:]
+    return dataset.subset(train_indices), dataset.subset(test_indices)

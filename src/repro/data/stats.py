@@ -1,0 +1,45 @@
+"""Statistics describing how heterogeneous a federated partition is."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def label_distribution(dataset: Dataset) -> np.ndarray:
+    """Normalized class histogram of a dataset (sums to 1)."""
+    counts = dataset.class_counts().astype(np.float64)
+    total = counts.sum()
+    if total == 0:
+        return counts
+    return counts / total
+
+
+def label_entropy(dataset: Dataset) -> float:
+    """Shannon entropy (nats) of the label distribution.
+
+    A uniform split over 10 classes has entropy ``ln(10) ~= 2.30``; a client
+    holding a single class has entropy 0, so low values indicate strong skew.
+    """
+    distribution = label_distribution(dataset)
+    nonzero = distribution[distribution > 0]
+    return float(-np.sum(nonzero * np.log(nonzero)))
+
+
+def partition_summary(clients: Sequence[Dataset]) -> Dict[str, object]:
+    """Summarize a list of client datasets (sizes, skew, class coverage)."""
+    sizes = [len(client) for client in clients]
+    entropies = [label_entropy(client) for client in clients]
+    coverage = [int(np.count_nonzero(client.class_counts())) for client in clients]
+    return {
+        "num_clients": len(clients),
+        "sizes": sizes,
+        "total_samples": int(np.sum(sizes)),
+        "min_size": int(np.min(sizes)) if sizes else 0,
+        "max_size": int(np.max(sizes)) if sizes else 0,
+        "mean_label_entropy": float(np.mean(entropies)) if entropies else 0.0,
+        "classes_per_client": coverage,
+    }

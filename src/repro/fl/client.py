@@ -1,0 +1,83 @@
+"""The federated client (model owner's training side)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.ml.mlp import MLP
+from repro.ml.trainer import EvalResult, Trainer, TrainingConfig, TrainingHistory, evaluate_model
+from repro.fl.model_update import ModelUpdate
+from repro.utils.rng import derive_seed
+
+
+@dataclass
+class LocalTrainingResult:
+    """Everything produced by one local training run."""
+
+    update: ModelUpdate
+    history: TrainingHistory
+    train_accuracy: float
+
+
+class FLClient:
+    """A data silo that trains models locally and shares only parameters."""
+
+    def __init__(
+        self,
+        client_id: str,
+        dataset: Dataset,
+        layer_sizes=(784, 100, 10),
+        config: Optional[TrainingConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.client_id = client_id
+        self.dataset = dataset
+        self.layer_sizes = tuple(layer_sizes)
+        self.config = config or TrainingConfig()
+        self.seed = seed
+        self.model: Optional[MLP] = None
+
+    @property
+    def num_samples(self) -> int:
+        """Number of local training samples."""
+        return len(self.dataset)
+
+    def _model_seed(self) -> Optional[int]:
+        """Derive a per-client model seed so clients start from different weights."""
+        if self.seed is None:
+            return None
+        return derive_seed(self.seed, f"client-model-{self.client_id}")
+
+    def train_local(self, initial_parameters: Optional[List[Dict[str, np.ndarray]]] = None) -> LocalTrainingResult:
+        """Train a fresh local model (optionally from given initial weights).
+
+        This is the expensive step the owner performs before Step 2 of the
+        workflow (uploading to IPFS).
+        """
+        model = MLP(self.layer_sizes, seed=self._model_seed())
+        if initial_parameters is not None:
+            model.set_parameters(initial_parameters)
+        trainer = Trainer(model, self.config)
+        history = trainer.train(self.dataset.features, self.dataset.labels)
+        self.model = model
+        update = ModelUpdate.from_model(
+            model,
+            num_samples=self.num_samples,
+            client_id=self.client_id,
+            metadata={"label_counts": self.dataset.class_counts().tolist()},
+        )
+        return LocalTrainingResult(
+            update=update,
+            history=history,
+            train_accuracy=history.final_accuracy,
+        )
+
+    def evaluate(self, dataset: Dataset) -> EvalResult:
+        """Evaluate the most recently trained local model on ``dataset``."""
+        if self.model is None:
+            raise RuntimeError(f"client {self.client_id} has not trained a model yet")
+        return evaluate_model(self.model, dataset.features, dataset.labels)

@@ -1,0 +1,37 @@
+"""One-shot aggregation algorithms."""
+
+from repro.fl.oneshot.base import AggregationResult, OneShotAggregator
+from repro.fl.oneshot.ensemble import EnsembleAggregator
+from repro.fl.oneshot.fedov import FedOVAggregator
+from repro.fl.oneshot.mean import MeanAggregator
+from repro.fl.oneshot.pfnm import PFNMAggregator, PFNMConfig
+
+
+def make_aggregator(name: str, **kwargs) -> OneShotAggregator:
+    """Build a one-shot aggregator by name.
+
+    Recognized names: ``"pfnm"`` (default algorithm in the paper), ``"mean"``,
+    ``"ensemble"`` and ``"fedov"``.
+    """
+    registry = {
+        "pfnm": PFNMAggregator,
+        "mean": MeanAggregator,
+        "ensemble": EnsembleAggregator,
+        "fedov": FedOVAggregator,
+    }
+    key = name.lower()
+    if key not in registry:
+        raise ValueError(f"unknown one-shot aggregator {name!r}; expected one of {sorted(registry)}")
+    return registry[key](**kwargs)
+
+
+__all__ = [
+    "AggregationResult",
+    "OneShotAggregator",
+    "EnsembleAggregator",
+    "FedOVAggregator",
+    "MeanAggregator",
+    "PFNMAggregator",
+    "PFNMConfig",
+    "make_aggregator",
+]

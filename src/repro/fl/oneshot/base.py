@@ -1,0 +1,48 @@
+"""Interface shared by every one-shot aggregator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.fl.model_update import ModelUpdate
+from repro.ml.metrics import accuracy
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of a one-shot aggregation.
+
+    ``predict`` works for both parametric results (a single fused model) and
+    non-parametric ones (an ensemble): aggregators attach whichever predictor
+    they produce.
+    """
+
+    predictor: Any
+    algorithm: str
+    num_updates: int
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class indices for ``features``."""
+        return self.predictor.predict(features)
+
+    def evaluate(self, dataset: Dataset) -> float:
+        """Test accuracy of the aggregated predictor on ``dataset``."""
+        return accuracy(self.predict(dataset.features), dataset.labels)
+
+
+class OneShotAggregator:
+    """Base class: combine a list of :class:`ModelUpdate` in a single shot."""
+
+    name = "base"
+
+    def aggregate(self, updates: Sequence[ModelUpdate]) -> AggregationResult:
+        """Fuse ``updates`` into a global predictor."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,315 @@
+"""PFNM: probabilistic federated neural matching (Yurochkin et al., 2019).
+
+The algorithm the paper adopts for one-shot aggregation.  Independently
+trained networks are permutation-invariant in their hidden units, so naive
+averaging mixes unrelated neurons.  PFNM instead treats global hidden neurons
+as atoms of a Bayesian-nonparametric model (a Beta-Bernoulli process) and
+*matches* each client's neurons to global neurons before averaging:
+
+1. each client neuron is represented by the vector of parameters attached to
+   it (incoming weights, bias, and outgoing weights for the last hidden
+   layer);
+2. clients are folded in one at a time; the cost of assigning client neuron
+   *k* to global neuron *g* is their squared distance (scaled by the prior
+   variances), while assigning it to a *new* global neuron costs a penalty
+   derived from the prior -- this is what makes the global model
+   nonparametric (its width can grow);
+3. the assignment is solved with the Hungarian algorithm
+   (:func:`scipy.optimize.linear_sum_assignment`), matched neurons are
+   averaged (running mean weighted by how many clients matched them), and
+   unmatched ones are appended as new global neurons;
+4. the output layer is averaged through the same matching.
+
+This implementation follows the single-hidden-layer formulation used for the
+paper's (784, 100, 10) MLP and extends to deeper MLPs by matching hidden
+layers sequentially (in the spirit of the follow-up FedMA work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import AggregationError
+from repro.fl.model_update import ModelUpdate, check_compatible
+from repro.fl.oneshot.base import AggregationResult, OneShotAggregator
+from repro.ml.mlp import MLP
+
+
+@dataclass(frozen=True)
+class PFNMConfig:
+    """Hyperparameters of the matching procedure.
+
+    ``sigma`` is the assumed observation noise of client neurons around their
+    global atom, ``sigma0`` the prior scale of global atoms, and ``gamma`` the
+    Indian-buffet-process-style concentration controlling how readily new
+    global neurons are created.  ``max_global_neurons_factor`` caps global
+    width at ``factor * local_width`` to keep the aggregated model small.
+    """
+
+    sigma: float = 0.3
+    sigma0: float = 10.0
+    gamma: float = 20.0
+    max_global_neurons_factor: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0 or self.sigma0 <= 0 or self.gamma <= 0:
+            raise ValueError("sigma, sigma0 and gamma must all be positive")
+        if self.max_global_neurons_factor < 1.0:
+            raise ValueError("max_global_neurons_factor must be at least 1")
+
+
+def _match_cost_matrix(
+    client_neurons: np.ndarray,
+    global_neurons: np.ndarray,
+    global_counts: np.ndarray,
+    config: PFNMConfig,
+    allow_new: int,
+) -> np.ndarray:
+    """Build the assignment cost matrix of shape (J, L + allow_new).
+
+    The first L columns are the costs of matching each client neuron to each
+    existing global neuron (negative log of the posterior match likelihood:
+    squared distance shrunk by the running count).  The trailing ``allow_new``
+    columns are the cost of opening a new global neuron (prior self-distance
+    plus a penalty that grows as more neurons already exist, mirroring the
+    IBP prior's preference for reusing popular atoms).
+    """
+    num_client, dim = client_neurons.shape
+    num_global = global_neurons.shape[0]
+    sigma_sq = config.sigma**2
+    sigma0_sq = config.sigma0**2
+
+    columns: List[np.ndarray] = []
+    if num_global:
+        # Posterior precision of a global atom matched `count` times grows with
+        # count, making well-supported atoms cheaper to match.
+        counts = global_counts.reshape(1, num_global)
+        means = global_neurons
+        diff = client_neurons[:, None, :] - means[None, :, :]
+        squared = np.sum(diff**2, axis=2)
+        match_cost = squared / (2.0 * sigma_sq) - np.log(counts + config.gamma)
+        columns.append(match_cost)
+    if allow_new:
+        self_cost = np.sum(client_neurons**2, axis=1) / (2.0 * (sigma_sq + sigma0_sq))
+        new_penalty = self_cost - np.log(config.gamma / (num_global + 1.0))
+        new_block = np.tile(new_penalty.reshape(num_client, 1), (1, allow_new))
+        # Make "new neuron" columns usable at most once each by adding a tiny
+        # increasing offset; the Hungarian solver then fills them in order.
+        new_block = new_block + np.arange(allow_new).reshape(1, allow_new) * 1e-6
+        columns.append(new_block)
+    return np.concatenate(columns, axis=1) if columns else np.zeros((num_client, 0))
+
+
+def _fold_in_client(
+    client_neurons: np.ndarray,
+    global_neurons: Optional[np.ndarray],
+    global_counts: Optional[np.ndarray],
+    config: PFNMConfig,
+    max_global: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Match one client's neurons into the running global atoms.
+
+    Returns the updated ``(global_neurons, global_counts, assignment)`` where
+    ``assignment[j]`` is the global index client neuron ``j`` mapped to.
+    """
+    num_client = client_neurons.shape[0]
+    if global_neurons is None or global_neurons.shape[0] == 0:
+        return client_neurons.copy(), np.ones(num_client), np.arange(num_client)
+
+    num_global = global_neurons.shape[0]
+    allow_new = max(0, min(num_client, max_global - num_global))
+    cost = _match_cost_matrix(client_neurons, global_neurons, global_counts, config, allow_new)
+    if cost.shape[1] < num_client:
+        # Not enough columns for a perfect matching (width cap reached and
+        # fewer global neurons than client neurons): pad with re-usable copies
+        # of the most expensive real column so the assignment stays feasible.
+        padding = np.tile(cost.max(axis=1, keepdims=True), (1, num_client - cost.shape[1]))
+        cost = np.concatenate([cost, padding], axis=1)
+        allow_padded = True
+    else:
+        allow_padded = False
+
+    rows, cols = linear_sum_assignment(cost)
+    updated_neurons = global_neurons.copy()
+    updated_counts = global_counts.copy()
+    assignment = np.zeros(num_client, dtype=np.int64)
+
+    for row, col in zip(rows, cols):
+        if col < num_global:
+            # Running weighted mean of the matched atom.
+            count = updated_counts[col]
+            updated_neurons[col] = (updated_neurons[col] * count + client_neurons[row]) / (count + 1.0)
+            updated_counts[col] = count + 1.0
+            assignment[row] = col
+        else:
+            if allow_padded and col >= num_global + allow_new:
+                # Width cap reached: fold into the nearest existing atom.
+                distances = np.sum((updated_neurons - client_neurons[row]) ** 2, axis=1)
+                nearest = int(np.argmin(distances))
+                count = updated_counts[nearest]
+                updated_neurons[nearest] = (
+                    updated_neurons[nearest] * count + client_neurons[row]
+                ) / (count + 1.0)
+                updated_counts[nearest] = count + 1.0
+                assignment[row] = nearest
+            else:
+                updated_neurons = np.vstack([updated_neurons, client_neurons[row]])
+                updated_counts = np.append(updated_counts, 1.0)
+                assignment[row] = updated_neurons.shape[0] - 1
+    return updated_neurons, updated_counts, assignment
+
+
+class PFNMAggregator(OneShotAggregator):
+    """One-shot aggregation by probabilistic neuron matching."""
+
+    name = "pfnm"
+
+    def __init__(self, config: Optional[PFNMConfig] = None) -> None:
+        self.config = config or PFNMConfig()
+
+    # -- public API -----------------------------------------------------------------
+
+    def aggregate(self, updates: Sequence[ModelUpdate]) -> AggregationResult:
+        """Fuse the updates into a single (possibly wider) global MLP."""
+        updates = list(updates)
+        layer_sizes = check_compatible(updates)
+        num_hidden_layers = len(layer_sizes) - 2
+        if num_hidden_layers < 1:
+            raise AggregationError(
+                "PFNM requires at least one hidden layer; "
+                f"got architecture {layer_sizes}"
+            )
+        if num_hidden_layers == 1:
+            model, global_width = self._aggregate_single_hidden(updates, layer_sizes)
+        else:
+            model, global_width = self._aggregate_deep(updates, layer_sizes)
+        return AggregationResult(
+            predictor=model,
+            algorithm=self.name,
+            num_updates=len(updates),
+            details={
+                "global_hidden_width": global_width,
+                "local_hidden_width": layer_sizes[1],
+                "config": self.config,
+            },
+        )
+
+    # -- single hidden layer (the paper's architecture) --------------------------------
+
+    def _aggregate_single_hidden(
+        self, updates: List[ModelUpdate], layer_sizes: Tuple[int, ...]
+    ) -> Tuple[MLP, int]:
+        """Exact PFNM for a (D, H, C) MLP."""
+        input_dim, hidden_dim, output_dim = layer_sizes[0], layer_sizes[1], layer_sizes[-1]
+        max_global = int(np.ceil(hidden_dim * self.config.max_global_neurons_factor))
+
+        global_neurons: Optional[np.ndarray] = None
+        global_counts: Optional[np.ndarray] = None
+        output_bias_sum = np.zeros(output_dim)
+        total_weight = 0.0
+
+        # Fold clients in descending data-size order (better-supported neurons
+        # establish the atoms the rest match against).
+        ordered = sorted(updates, key=lambda u: -u.num_samples)
+        for update in ordered:
+            hidden = update.parameters[0]
+            output = update.parameters[1]
+            # Neuron vector: incoming weights | bias | outgoing weights.
+            client_neurons = np.concatenate(
+                [hidden["weights"].T, hidden["biases"].reshape(-1, 1), output["weights"]],
+                axis=1,
+            )
+            global_neurons, global_counts, _ = _fold_in_client(
+                client_neurons, global_neurons, global_counts, self.config, max_global
+            )
+            output_bias_sum += output["biases"] * update.num_samples
+            total_weight += update.num_samples
+
+        global_width = global_neurons.shape[0]
+        incoming = global_neurons[:, :input_dim].T
+        biases = global_neurons[:, input_dim]
+        outgoing = global_neurons[:, input_dim + 1:]
+        # Down-weight the outgoing weights of rarely matched atoms so that
+        # neurons seen by few clients do not dominate the logits.
+        support = (global_counts / len(updates)).reshape(-1, 1)
+        outgoing = outgoing * support
+
+        parameters = [
+            {"weights": incoming, "biases": biases},
+            {"weights": outgoing, "biases": output_bias_sum / total_weight},
+        ]
+        return MLP.from_parameters(parameters), global_width
+
+    # -- deeper MLPs (layer-wise extension) ------------------------------------------------
+
+    def _aggregate_deep(
+        self, updates: List[ModelUpdate], layer_sizes: Tuple[int, ...]
+    ) -> Tuple[MLP, int]:
+        """Layer-wise matching for MLPs with more than one hidden layer.
+
+        Hidden layers are matched one at a time, re-expressing each client's
+        incoming weights in the global coordinates of the previously matched
+        layer (FedMA-style).  The output layer is averaged through the final
+        matching.
+        """
+        num_layers = len(layer_sizes) - 1
+        ordered = sorted(updates, key=lambda u: -u.num_samples)
+        # Per-client permutation of the previous layer: maps client unit -> global unit.
+        prev_maps: Dict[int, np.ndarray] = {
+            i: np.arange(layer_sizes[0]) for i in range(len(ordered))
+        }
+        prev_global_width = layer_sizes[0]
+        global_parameters: List[Dict[str, np.ndarray]] = []
+        last_width = layer_sizes[0]
+
+        for layer_index in range(num_layers - 1):
+            width = layer_sizes[layer_index + 1]
+            max_global = int(np.ceil(width * self.config.max_global_neurons_factor))
+            global_neurons = None
+            global_counts = None
+            assignments: Dict[int, np.ndarray] = {}
+            for client_index, update in enumerate(ordered):
+                layer = update.parameters[layer_index]
+                incoming = np.zeros((width, prev_global_width))
+                incoming[:, prev_maps[client_index]] = layer["weights"].T
+                client_neurons = np.concatenate(
+                    [incoming, layer["biases"].reshape(-1, 1)], axis=1
+                )
+                global_neurons, global_counts, assignment = _fold_in_client(
+                    client_neurons, global_neurons, global_counts, self.config, max_global
+                )
+                assignments[client_index] = assignment
+            global_width = global_neurons.shape[0]
+            global_parameters.append(
+                {
+                    "weights": global_neurons[:, :prev_global_width].T,
+                    "biases": global_neurons[:, prev_global_width],
+                }
+            )
+            prev_maps = assignments
+            prev_global_width = global_width
+            last_width = global_width
+
+        # Output layer: scatter each client's outgoing weights into global
+        # coordinates and average with sample weights.
+        output_dim = layer_sizes[-1]
+        weight_sum = np.zeros((prev_global_width, output_dim))
+        count_sum = np.zeros((prev_global_width, 1))
+        bias_sum = np.zeros(output_dim)
+        total_weight = 0.0
+        for client_index, update in enumerate(ordered):
+            output = update.parameters[-1]
+            mapping = prev_maps[client_index]
+            weight_sum[mapping] += output["weights"] * update.num_samples
+            count_sum[mapping] += update.num_samples
+            bias_sum += output["biases"] * update.num_samples
+            total_weight += update.num_samples
+        count_sum[count_sum == 0] = 1.0
+        global_parameters.append(
+            {"weights": weight_sum / count_sum, "biases": bias_sum / total_weight}
+        )
+        return MLP.from_parameters(global_parameters), last_width

@@ -1,0 +1,67 @@
+"""The buyer-side one-shot server.
+
+Collects :class:`~repro.fl.model_update.ModelUpdate` objects (in OFL-W3 these
+arrive as IPFS payloads referenced by on-chain CIDs), runs a configurable
+one-shot aggregator, and evaluates the result.  This is the component that
+would run on the buyer's backend workstation behind the Flask service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.errors import AggregationError
+from repro.fl.model_update import ModelUpdate
+from repro.fl.oneshot import OneShotAggregator, make_aggregator
+from repro.fl.oneshot.base import AggregationResult
+from repro.ml.trainer import evaluate_model
+
+
+@dataclass
+class OneShotServer:
+    """Collects updates and aggregates them in a single shot."""
+
+    aggregator: OneShotAggregator = field(default_factory=lambda: make_aggregator("pfnm"))
+    updates: List[ModelUpdate] = field(default_factory=list)
+
+    def submit(self, update: ModelUpdate) -> int:
+        """Register one owner's update; returns its index."""
+        self.updates.append(update)
+        return len(self.updates) - 1
+
+    def submit_payload(self, payload: bytes, num_samples: int, client_id: str = "") -> int:
+        """Register an update arriving as a serialized IPFS payload."""
+        return self.submit(ModelUpdate.from_payload(payload, num_samples=num_samples,
+                                                    client_id=client_id))
+
+    @property
+    def num_updates(self) -> int:
+        """Number of updates collected so far."""
+        return len(self.updates)
+
+    def aggregate(self, subset: Optional[Sequence[int]] = None) -> AggregationResult:
+        """Aggregate all updates (or the given subset of indices).
+
+        The ``subset`` parameter is what the leave-one-out incentive
+        computation uses to re-aggregate with one owner removed.
+        """
+        if not self.updates:
+            raise AggregationError("no updates have been submitted")
+        selected = (
+            [self.updates[i] for i in subset] if subset is not None else list(self.updates)
+        )
+        if not selected:
+            raise AggregationError("cannot aggregate an empty subset of updates")
+        return self.aggregator.aggregate(selected)
+
+    def evaluate_locals(self, test_dataset: Dataset) -> Dict[str, float]:
+        """Test accuracy of each submitted local model (Fig. 4's bars)."""
+        results: Dict[str, float] = {}
+        for index, update in enumerate(self.updates):
+            model = update.to_model()
+            evaluation = evaluate_model(model, test_dataset.features, test_dataset.labels)
+            key = update.client_id or f"client-{index}"
+            results[key] = evaluation.accuracy
+        return results

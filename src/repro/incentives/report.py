@@ -1,0 +1,32 @@
+"""Human-readable incentive reports (the paper's Table 1)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.incentives.payment import PaymentPlan
+from repro.utils.units import format_ether
+
+
+def format_payment_table(plan: PaymentPlan, title: str = "Payment Table") -> str:
+    """Render a payment plan as a fixed-width text table.
+
+    Matches the layout of Table 1: one row per wallet address with its ETH
+    payment, plus a footer with the total and unallocated budget.
+    """
+    rows = plan.to_rows()
+    address_width = max([len("Wallet Address")] + [len(row["wallet_address"]) for row in rows])
+    lines: List[str] = []
+    lines.append(title)
+    lines.append(f"{'Wallet Address':<{address_width}}  {'Payment (ETH)':>14}")
+    lines.append("-" * (address_width + 16))
+    for row in rows:
+        lines.append(f"{row['wallet_address']:<{address_width}}  {row['payment_eth']:>14}")
+    lines.append("-" * (address_width + 16))
+    lines.append(
+        f"{'Total paid':<{address_width}}  {format_ether(plan.total_wei):>14}"
+    )
+    lines.append(
+        f"{'Unallocated (refunded)':<{address_width}}  {format_ether(plan.unallocated_wei):>14}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""Local block storage keyed by CID."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.errors import BlockNotFoundError, InvalidCidError
+from repro.ipfs.cid import CID
+
+
+class BlockStore:
+    """An in-memory mapping from CID to block bytes.
+
+    Blocks are verified on insertion: storing bytes under a CID whose digest
+    does not match raises :class:`InvalidCidError`, so a corrupted or
+    malicious peer cannot poison a node's store.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: Dict[str, bytes] = {}
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, cid: CID | str) -> bool:
+        return self.has(cid)
+
+    @staticmethod
+    def _key(cid: CID | str) -> str:
+        cid_obj = cid if isinstance(cid, CID) else CID.parse(cid)
+        return cid_obj.encode()
+
+    def put(self, cid: CID | str, block: bytes) -> CID:
+        """Store ``block`` under ``cid`` after verifying the digest matches."""
+        cid_obj = cid if isinstance(cid, CID) else CID.parse(cid)
+        expected = CID.from_bytes_payload(bytes(block), version=cid_obj.version, codec=cid_obj.codec)
+        if expected.digest != cid_obj.digest:
+            raise InvalidCidError(
+                f"block content does not hash to {cid_obj.encode()}"
+            )
+        self._blocks[cid_obj.encode()] = bytes(block)
+        return cid_obj
+
+    def get(self, cid: CID | str) -> bytes:
+        """Fetch the block stored under ``cid``.
+
+        Raises
+        ------
+        BlockNotFoundError
+            If the block is not present locally.
+        """
+        key = self._key(cid)
+        if key not in self._blocks:
+            raise BlockNotFoundError(f"block {key} not in local store")
+        return self._blocks[key]
+
+    def has(self, cid: CID | str) -> bool:
+        """Whether the block is present locally."""
+        try:
+            return self._key(cid) in self._blocks
+        except InvalidCidError:
+            return False
+
+    def delete(self, cid: CID | str) -> bool:
+        """Remove a block; returns whether it existed."""
+        return self._blocks.pop(self._key(cid), None) is not None
+
+    def cids(self) -> Iterator[str]:
+        """Iterate over the CIDs of all stored blocks."""
+        return iter(list(self._blocks.keys()))
+
+    def total_bytes(self) -> int:
+        """Total stored payload size in bytes."""
+        return sum(len(block) for block in self._blocks.values())

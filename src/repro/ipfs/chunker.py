@@ -1,0 +1,33 @@
+"""Splitting payloads into fixed-size blocks.
+
+IPFS's default chunker cuts files into 256 KiB blocks; the paper's 317 KB
+model payload therefore spans two blocks and is represented by a small
+Merkle DAG whose root CID is what gets published on-chain.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+DEFAULT_CHUNK_SIZE = 256 * 1024
+
+
+def iter_chunks(payload: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Yield consecutive ``chunk_size`` slices of ``payload``.
+
+    An empty payload yields a single empty chunk so that even empty files get
+    a well-defined CID.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk size must be positive, got {chunk_size}")
+    payload = bytes(payload)
+    if not payload:
+        yield b""
+        return
+    for start in range(0, len(payload), chunk_size):
+        yield payload[start:start + chunk_size]
+
+
+def chunk_bytes(payload: bytes, chunk_size: int = DEFAULT_CHUNK_SIZE) -> List[bytes]:
+    """Materialize :func:`iter_chunks` into a list."""
+    return list(iter_chunks(payload, chunk_size))

@@ -1,0 +1,51 @@
+"""A path-style gateway over an IPFS node.
+
+The DApp backend fetches models through gateway URLs of the form
+``/ipfs/<cid>``; this class resolves such paths against a node, mirroring an
+HTTP gateway's behaviour (including 404-like errors for unknown CIDs).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import BlockNotFoundError, InvalidCidError
+from repro.ipfs.cid import CID
+from repro.ipfs.node import IpfsNode
+
+
+class IpfsGateway:
+    """Resolves ``/ipfs/<cid>`` paths to payload bytes."""
+
+    def __init__(self, node: IpfsNode, base_url: str = "http://127.0.0.1:8080") -> None:
+        self.node = node
+        self.base_url = base_url.rstrip("/")
+
+    def url_for(self, cid: CID | str) -> str:
+        """The gateway URL for a CID."""
+        cid_str = cid.encode() if isinstance(cid, CID) else str(cid)
+        return f"{self.base_url}/ipfs/{cid_str}"
+
+    @staticmethod
+    def parse_path(path: str) -> str:
+        """Extract the CID string from an ``/ipfs/<cid>`` path or full URL."""
+        marker = "/ipfs/"
+        index = path.find(marker)
+        if index < 0:
+            raise InvalidCidError(f"not an ipfs path: {path!r}")
+        remainder = path[index + len(marker):]
+        cid_str = remainder.split("/", 1)[0].split("?", 1)[0]
+        if not cid_str:
+            raise InvalidCidError(f"no CID in path: {path!r}")
+        return cid_str
+
+    def fetch(self, path_or_cid: str) -> Tuple[int, bytes]:
+        """Resolve a path/CID; returns an (HTTP-like status, payload) pair."""
+        try:
+            cid_str = self.parse_path(path_or_cid) if "/" in path_or_cid else path_or_cid
+            payload = self.node.cat(CID.parse(cid_str))
+        except InvalidCidError:
+            return 400, b"invalid CID"
+        except BlockNotFoundError:
+            return 404, b"content not found"
+        return 200, payload

@@ -1,0 +1,72 @@
+"""Pin management.
+
+Pinned CIDs are protected from garbage collection.  Model owners pin the
+models they publish so the content stays retrievable until the buyer has
+fetched it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Set
+
+from repro.errors import PinError
+from repro.ipfs.cid import CID
+
+RECURSIVE = "recursive"
+DIRECT = "direct"
+
+
+class PinSet:
+    """Tracks pinned CIDs and their pin type."""
+
+    def __init__(self) -> None:
+        self._pins: Dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._pins)
+
+    def __contains__(self, cid: CID | str) -> bool:
+        return self.is_pinned(cid)
+
+    @staticmethod
+    def _key(cid: CID | str) -> str:
+        return cid.encode() if isinstance(cid, CID) else CID.parse(cid).encode()
+
+    def pin(self, cid: CID | str, recursive: bool = True) -> None:
+        """Pin a CID (recursive pins protect the whole DAG beneath it)."""
+        self._pins[self._key(cid)] = RECURSIVE if recursive else DIRECT
+
+    def unpin(self, cid: CID | str) -> None:
+        """Remove a pin.
+
+        Raises
+        ------
+        PinError
+            If the CID is not pinned.
+        """
+        key = self._key(cid)
+        if key not in self._pins:
+            raise PinError(f"{key} is not pinned")
+        del self._pins[key]
+
+    def is_pinned(self, cid: CID | str) -> bool:
+        """Whether the CID is pinned (either mode)."""
+        try:
+            return self._key(cid) in self._pins
+        except Exception:
+            return False
+
+    def pin_type(self, cid: CID | str) -> str:
+        """The pin mode of a pinned CID."""
+        key = self._key(cid)
+        if key not in self._pins:
+            raise PinError(f"{key} is not pinned")
+        return self._pins[key]
+
+    def pins(self) -> Iterator[str]:
+        """Iterate over pinned CID strings."""
+        return iter(list(self._pins.keys()))
+
+    def recursive_pins(self) -> Set[str]:
+        """The set of recursively pinned CID strings."""
+        return {cid for cid, mode in self._pins.items() if mode == RECURSIVE}

@@ -1,0 +1,118 @@
+"""The swarm: peer discovery and bitswap-style block exchange.
+
+Nodes register with a :class:`Swarm`; when a node is asked for a block it
+does not hold locally, it asks its connected peers (in connection order) and
+copies the first verified response into its own store.  The swarm also keeps
+simple transfer statistics so experiments can report how many bytes moved
+between owners and the buyer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from repro.errors import BlockNotFoundError
+from repro.ipfs.cid import CID
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.ipfs.node import IpfsNode
+
+
+@dataclass
+class TransferStats:
+    """Counters for block exchange between two peers."""
+
+    blocks: int = 0
+    bytes: int = 0
+
+
+class Swarm:
+    """A set of interconnected IPFS nodes."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, "IpfsNode"] = {}
+        self._connections: Dict[str, Set[str]] = {}
+        self._transfers: Dict[tuple, TransferStats] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def register(self, node: "IpfsNode") -> None:
+        """Add a node to the swarm (by its peer id)."""
+        self._nodes[node.peer_id] = node
+        self._connections.setdefault(node.peer_id, set())
+
+    def nodes(self) -> List["IpfsNode"]:
+        """All registered nodes."""
+        return list(self._nodes.values())
+
+    def get_node(self, peer_id: str) -> "IpfsNode":
+        """Look up a node by peer id."""
+        if peer_id not in self._nodes:
+            raise KeyError(f"unknown peer {peer_id}")
+        return self._nodes[peer_id]
+
+    # -- connections ------------------------------------------------------------
+
+    def connect(self, a: "IpfsNode | str", b: "IpfsNode | str") -> None:
+        """Create a bidirectional connection between two registered nodes."""
+        peer_a = a if isinstance(a, str) else a.peer_id
+        peer_b = b if isinstance(b, str) else b.peer_id
+        if peer_a not in self._nodes or peer_b not in self._nodes:
+            raise KeyError("both peers must be registered before connecting")
+        if peer_a == peer_b:
+            return
+        self._connections[peer_a].add(peer_b)
+        self._connections[peer_b].add(peer_a)
+
+    def connect_all(self) -> None:
+        """Fully mesh every registered node (the demo's single LAN)."""
+        peer_ids = list(self._nodes)
+        for i, peer_a in enumerate(peer_ids):
+            for peer_b in peer_ids[i + 1:]:
+                self.connect(peer_a, peer_b)
+
+    def peers_of(self, node: "IpfsNode | str") -> List[str]:
+        """Peer ids connected to ``node``."""
+        peer_id = node if isinstance(node, str) else node.peer_id
+        return sorted(self._connections.get(peer_id, set()))
+
+    # -- block exchange -----------------------------------------------------------
+
+    def fetch_block(self, requester: "IpfsNode", cid: CID | str) -> bytes:
+        """Find a block among the requester's peers (bitswap want-have/want-block).
+
+        Raises
+        ------
+        BlockNotFoundError
+            If no connected peer holds the block.
+        """
+        cid_obj = cid if isinstance(cid, CID) else CID.parse(cid)
+        for peer_id in self.peers_of(requester):
+            provider = self._nodes[peer_id]
+            if provider.blockstore.has(cid_obj):
+                block = provider.blockstore.get(cid_obj)
+                stats = self._transfers.setdefault((peer_id, requester.peer_id), TransferStats())
+                stats.blocks += 1
+                stats.bytes += len(block)
+                return block
+        raise BlockNotFoundError(
+            f"no connected peer of {requester.peer_id} provides {cid_obj.encode()}"
+        )
+
+    def providers_of(self, cid: CID | str) -> List[str]:
+        """Peer ids of every node holding the block locally (DHT-provider analogue)."""
+        cid_obj = cid if isinstance(cid, CID) else CID.parse(cid)
+        return [
+            peer_id for peer_id, node in self._nodes.items() if node.blockstore.has(cid_obj)
+        ]
+
+    # -- statistics -----------------------------------------------------------------
+
+    def transfer_stats(self) -> Dict[tuple, TransferStats]:
+        """Per (provider, requester) transfer counters."""
+        return dict(self._transfers)
+
+    def total_bytes_transferred(self) -> int:
+        """Total bytes exchanged across the swarm."""
+        return sum(stats.bytes for stats in self._transfers.values())

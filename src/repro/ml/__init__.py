@@ -1,0 +1,47 @@
+"""A NumPy neural-network substrate.
+
+Replaces the PyTorch dependency of the original demo with a small, fully
+deterministic MLP stack: dense layers, ReLU/softmax activations, cross-entropy
+loss, SGD/momentum/Adam optimizers, a minibatch trainer and model
+(de)serialization.  The paper's model -- a three-layer MLP (784, 100, 10)
+trained with batch size 64, learning rate 0.001 and 10 local epochs -- is
+expressed directly with these pieces, and its serialized float32 payload is
+~317 KB, matching the model size reported in the paper's overhead analysis.
+"""
+
+from repro.ml.activations import relu, relu_grad, sigmoid, softmax, tanh
+from repro.ml.dataloader import batch_iterator
+from repro.ml.layers import DenseLayer
+from repro.ml.losses import cross_entropy_loss, cross_entropy_with_softmax, mse_loss
+from repro.ml.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.ml.mlp import MLP
+from repro.ml.optimizers import SGD, Adam, Optimizer
+from repro.ml.serialization import deserialize_model, model_payload_size, serialize_model
+from repro.ml.trainer import EvalResult, Trainer, TrainingConfig, TrainingHistory
+
+__all__ = [
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "batch_iterator",
+    "DenseLayer",
+    "cross_entropy_loss",
+    "cross_entropy_with_softmax",
+    "mse_loss",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+    "MLP",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "deserialize_model",
+    "model_payload_size",
+    "serialize_model",
+    "EvalResult",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingHistory",
+]

@@ -1,0 +1,43 @@
+"""Minibatch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.rng import make_rng
+
+
+def batch_iterator(
+    features: np.ndarray,
+    labels: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng=None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(features, labels)`` minibatches.
+
+    Parameters mirror a typical deep-learning ``DataLoader``: optional
+    shuffling with an explicit RNG for reproducibility, and an option to drop
+    a trailing partial batch.
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.shape[0] != labels.shape[0]:
+        raise ShapeError(
+            f"features and labels disagree on sample count: {features.shape[0]} vs {labels.shape[0]}"
+        )
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be positive, got {batch_size}")
+    count = features.shape[0]
+    indices = np.arange(count)
+    if shuffle:
+        make_rng(rng).shuffle(indices)
+    for start in range(0, count, batch_size):
+        batch = indices[start:start + batch_size]
+        if drop_last and batch.shape[0] < batch_size:
+            break
+        yield features[batch], labels[batch]

@@ -1,0 +1,95 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.ml.layers import DenseLayer
+
+
+class Optimizer:
+    """Base class: applies per-layer parameter updates from stored gradients."""
+
+    def step(self, layers: List[DenseLayer]) -> None:
+        """Update every layer's parameters in place from its gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, learning_rate: float = 0.001, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self, layers: List[DenseLayer]) -> None:
+        """Apply one SGD update to every layer."""
+        for index, layer in enumerate(layers):
+            grads = layer.get_gradients()
+            if self.weight_decay:
+                grads = {
+                    "weights": grads["weights"] + self.weight_decay * layer.weights,
+                    "biases": grads["biases"],
+                }
+            if self.momentum:
+                state = self._velocity.setdefault(
+                    index,
+                    {"weights": np.zeros_like(layer.weights), "biases": np.zeros_like(layer.biases)},
+                )
+                state["weights"] = self.momentum * state["weights"] - self.learning_rate * grads["weights"]
+                state["biases"] = self.momentum * state["biases"] - self.learning_rate * grads["biases"]
+                layer.weights += state["weights"]
+                layer.biases += state["biases"]
+            else:
+                layer.weights -= self.learning_rate * grads["weights"]
+                layer.biases -= self.learning_rate * grads["biases"]
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015).
+
+    The paper trains local models with a learning rate of 0.001, the Adam
+    default, so Adam is the trainer's default optimizer.
+    """
+
+    def __init__(self, learning_rate: float = 0.001, beta1: float = 0.9,
+                 beta2: float = 0.999, epsilon: float = 1e-8) -> None:
+        if learning_rate <= 0:
+            raise ValueError(f"learning rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._step_count = 0
+        self._first_moment: Dict[int, Dict[str, np.ndarray]] = {}
+        self._second_moment: Dict[int, Dict[str, np.ndarray]] = {}
+
+    def step(self, layers: List[DenseLayer]) -> None:
+        """Apply one Adam update to every layer."""
+        self._step_count += 1
+        for index, layer in enumerate(layers):
+            grads = layer.get_gradients()
+            m_state = self._first_moment.setdefault(
+                index,
+                {"weights": np.zeros_like(layer.weights), "biases": np.zeros_like(layer.biases)},
+            )
+            v_state = self._second_moment.setdefault(
+                index,
+                {"weights": np.zeros_like(layer.weights), "biases": np.zeros_like(layer.biases)},
+            )
+            for key, param in (("weights", layer.weights), ("biases", layer.biases)):
+                grad = grads[key]
+                m_state[key] = self.beta1 * m_state[key] + (1 - self.beta1) * grad
+                v_state[key] = self.beta2 * v_state[key] + (1 - self.beta2) * grad**2
+                m_hat = m_state[key] / (1 - self.beta1**self._step_count)
+                v_hat = v_state[key] / (1 - self.beta2**self._step_count)
+                param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

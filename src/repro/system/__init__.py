@@ -1,0 +1,37 @@
+"""System-level orchestration of the OFL-W3 marketplace.
+
+This package ties every substrate together into the workflow of the paper's
+Section 3.2 (Steps 1-7) and drives the experiments of Section 4:
+
+* :mod:`repro.system.config` -- experiment configuration (paper-scale and
+  test-scale presets);
+* :mod:`repro.system.timing` -- the latency model behind the execution-time
+  breakdown (Fig. 7);
+* :mod:`repro.system.roles` -- :class:`ModelBuyer` and :class:`ModelOwner`;
+* :mod:`repro.system.workflow` -- the seven-step marketplace workflow;
+* :mod:`repro.system.orchestrator` -- ``run_marketplace``: build everything,
+  run the workflow, and return a consolidated experiment report;
+* :mod:`repro.system.costs` -- gas/fee analysis (Fig. 5).
+"""
+
+from repro.system.config import OFLW3Config, paper_config, quick_config
+from repro.system.costs import GasCostReport, build_gas_cost_report
+from repro.system.orchestrator import MarketplaceReport, run_marketplace
+from repro.system.roles import ModelBuyer, ModelOwner
+from repro.system.timing import LatencyModel, TimeBreakdown
+from repro.system.workflow import OFLW3Workflow
+
+__all__ = [
+    "OFLW3Config",
+    "paper_config",
+    "quick_config",
+    "GasCostReport",
+    "build_gas_cost_report",
+    "MarketplaceReport",
+    "run_marketplace",
+    "ModelBuyer",
+    "ModelOwner",
+    "LatencyModel",
+    "TimeBreakdown",
+    "OFLW3Workflow",
+]

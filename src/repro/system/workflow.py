@@ -1,0 +1,134 @@
+"""The seven-step OFL-W3 workflow (Section 3.2 of the paper).
+
+Step 1  Contract design and deployment (buyer)
+Step 2  Local training and model upload to IPFS (owners)
+Step 3  Owners receive CIDs from IPFS
+Step 4  Owners send CIDs to the smart contract
+Step 5  Buyer downloads the CIDs (gas-free read)
+Step 6  Buyer retrieves the models from IPFS
+Step 7  Buyer aggregates, computes incentives and pays the owners
+
+:class:`OFLW3Workflow` drives :class:`~repro.system.roles.ModelBuyer` and a
+list of :class:`~repro.system.roles.ModelOwner` through these steps in order,
+enforcing the ordering constraints (e.g. payment before aggregation is a
+:class:`~repro.errors.WorkflowError`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import WorkflowError
+from repro.system.roles import ModelBuyer, ModelOwner
+
+
+@dataclass
+class WorkflowResult:
+    """Raw outputs of every workflow step."""
+
+    task_address: str
+    deployment: Dict[str, Any]
+    owner_results: List[Dict[str, Any]] = field(default_factory=list)
+    cid_listing: Dict[str, Any] = field(default_factory=dict)
+    retrieval: Dict[str, Any] = field(default_factory=dict)
+    aggregation: Dict[str, Any] = field(default_factory=dict)
+    incentives: Dict[str, Any] = field(default_factory=dict)
+    payments: Dict[str, Any] = field(default_factory=dict)
+
+
+class OFLW3Workflow:
+    """Coordinates one buyer and many owners through Steps 1-7."""
+
+    def __init__(self, buyer: ModelBuyer, owners: Sequence[ModelOwner]) -> None:
+        if not owners:
+            raise WorkflowError("the workflow needs at least one model owner")
+        self.buyer = buyer
+        self.owners = list(owners)
+        self._result: Optional[WorkflowResult] = None
+
+    # -- individual steps ---------------------------------------------------------
+
+    def step1_deploy(self, task_spec: Dict[str, Any], budget_wei: int) -> Dict[str, Any]:
+        """Step 1: the buyer deploys the task contract with its escrow."""
+        deployment = self.buyer.deploy_task(task_spec, budget_wei)
+        self._result = WorkflowResult(
+            task_address=deployment["contract_address"], deployment=deployment
+        )
+        return deployment
+
+    def step2_to_4_owner_contributions(self) -> List[Dict[str, Any]]:
+        """Steps 2-4: every owner trains, uploads to IPFS and submits its CID."""
+        result = self._require_deployed()
+        owner_results = []
+        for owner in self.owners:
+            owner_results.append(owner.run_full_flow(result.task_address))
+        result.owner_results = owner_results
+        return owner_results
+
+    def step5_download_cids(self) -> Dict[str, Any]:
+        """Step 5: the buyer lists the CIDs recorded on-chain."""
+        result = self._require_deployed()
+        result.cid_listing = self.buyer.download_cids()
+        return result.cid_listing
+
+    def step6_retrieve_models(self) -> Dict[str, Any]:
+        """Step 6: the buyer fetches the models from IPFS."""
+        result = self._require_deployed()
+        num_samples = {owner.address: len(owner.dataset) for owner in self.owners}
+        result.retrieval = self.buyer.retrieve_models(num_samples)
+        return result.retrieval
+
+    def step7_aggregate_and_pay(
+        self,
+        incentive_method: str = "leave_one_out",
+        reserve_fraction: float = 0.0,
+        min_payment_wei: int = 0,
+        **incentive_kwargs,
+    ) -> Dict[str, Any]:
+        """Step 7: aggregate, compute incentives, and pay the owners."""
+        result = self._require_deployed()
+        if not result.retrieval:
+            raise WorkflowError("Step 6 (retrieve models) must run before Step 7")
+        result.aggregation = self.buyer.aggregate()
+        result.incentives = self.buyer.compute_incentives(incentive_method, **incentive_kwargs)
+        result.payments = self.buyer.pay_owners(
+            reserve_fraction=reserve_fraction, min_payment_wei=min_payment_wei
+        )
+        return result.payments
+
+    # -- end to end -----------------------------------------------------------------
+
+    def run(
+        self,
+        task_spec: Dict[str, Any],
+        budget_wei: int,
+        incentive_method: str = "leave_one_out",
+        reserve_fraction: float = 0.0,
+        min_payment_wei: int = 0,
+    ) -> WorkflowResult:
+        """Run all seven steps in order and return the collected results."""
+        self.step1_deploy(task_spec, budget_wei)
+        self.step2_to_4_owner_contributions()
+        self.step5_download_cids()
+        self.step6_retrieve_models()
+        self.step7_aggregate_and_pay(
+            incentive_method=incentive_method,
+            reserve_fraction=reserve_fraction,
+            min_payment_wei=min_payment_wei,
+        )
+        assert self._result is not None
+        return self._result
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _require_deployed(self) -> WorkflowResult:
+        """Guard: Step 1 must have run."""
+        if self._result is None:
+            raise WorkflowError("Step 1 (contract deployment) has not run yet")
+        return self._result
+
+    @property
+    def result(self) -> Optional[WorkflowResult]:
+        """The workflow's collected results so far (None before Step 1)."""
+        return self._result

@@ -1,0 +1,88 @@
+"""A deterministic simulated clock.
+
+Real-world OFL-W3 latency is dominated by waiting for block inclusion on
+Sepolia (~12 s slots) and IPFS transfers.  To reproduce the execution-time
+breakdown (Fig. 7) deterministically and instantly, every component that
+"waits" does so against a :class:`SimulatedClock` rather than wall time.
+The clock only moves when a component explicitly advances it, which makes
+experiments reproducible and fast while preserving relative durations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass
+class SimulatedClock:
+    """A monotonically non-decreasing virtual clock measured in seconds."""
+
+    start_time: float = 0.0
+    _now: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._now = float(self.start_time)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds since the epoch of the simulation."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by negative time: {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to an absolute ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._now = float(timestamp)
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Alias of :meth:`advance`, mirroring ``time.sleep`` call sites."""
+        self.advance(seconds)
+
+
+class Stopwatch:
+    """Accumulates named durations against a :class:`SimulatedClock`.
+
+    Components report how long each phase of the OFL-W3 workflow took; the
+    stopwatch records (label, duration) pairs which the Fig. 7 benchmark then
+    groups into the owner/buyer time breakdown.
+    """
+
+    def __init__(self, clock: Optional[SimulatedClock] = None) -> None:
+        self.clock = clock or SimulatedClock()
+        self._records: List[Tuple[str, float]] = []
+
+    def record(self, label: str, seconds: float) -> None:
+        """Advance the clock by ``seconds`` and remember it under ``label``."""
+        self.clock.advance(seconds)
+        self._records.append((label, float(seconds)))
+
+    def measure(self, label: str, fn: Callable[[], object], seconds: float) -> object:
+        """Run ``fn`` and attribute a simulated duration of ``seconds`` to it."""
+        result = fn()
+        self.record(label, seconds)
+        return result
+
+    @property
+    def records(self) -> List[Tuple[str, float]]:
+        """All recorded (label, seconds) pairs in insertion order."""
+        return list(self._records)
+
+    def totals(self) -> Dict[str, float]:
+        """Total simulated seconds per label."""
+        totals: Dict[str, float] = {}
+        for label, seconds in self._records:
+            totals[label] = totals.get(label, 0.0) + seconds
+        return totals
+
+    @property
+    def total(self) -> float:
+        """Total simulated seconds across all labels."""
+        return sum(seconds for _, seconds in self._records)

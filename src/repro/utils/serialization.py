@@ -1,0 +1,141 @@
+"""Deterministic serialization helpers.
+
+Two encodings are provided:
+
+* :func:`canonical_dumps` / :func:`canonical_loads` -- canonical JSON
+  (sorted keys, fixed separators, UTF-8) used for hashing structured objects
+  such as transactions and IPFS DAG nodes.  Bytes values are transparently
+  encoded as ``{"__bytes__": "0x..."}`` envelopes so round-tripping is exact.
+* :func:`rlp_encode` -- a recursive-length-prefix encoding in the spirit of
+  Ethereum's RLP, used to give transactions and blocks a compact binary wire
+  form whose byte length feeds the calldata gas computation.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Sequence, Union
+
+RlpItem = Union[bytes, Sequence["RlpItem"]]
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON
+# ---------------------------------------------------------------------------
+
+
+def _encode_value(value: Any) -> Any:
+    """Recursively rewrite values into a JSON-safe canonical form."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": "0x" + bytes(value).hex()}
+    if isinstance(value, dict):
+        return {str(key): _encode_value(val) for key, val in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_encode_value(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return _encode_value(value.to_dict())
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Inverse of :func:`_encode_value`."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {"__bytes__"}:
+            return bytes.fromhex(value["__bytes__"][2:])
+        return {key: _decode_value(val) for key, val in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def canonical_dumps(obj: Any) -> str:
+    """Serialize ``obj`` to canonical JSON (sorted keys, no whitespace)."""
+    return json.dumps(_encode_value(obj), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_loads(text: str) -> Any:
+    """Parse canonical JSON produced by :func:`canonical_dumps`."""
+    return _decode_value(json.loads(text))
+
+
+# ---------------------------------------------------------------------------
+# RLP-like binary encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_length(length: int, offset: int) -> bytes:
+    """Encode a length header per the RLP scheme."""
+    if length < 56:
+        return bytes([offset + length])
+    length_bytes = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([offset + 55 + len(length_bytes)]) + length_bytes
+
+
+def rlp_encode(item: RlpItem) -> bytes:
+    """Encode a nested structure of bytes / lists into RLP-style bytes.
+
+    Integers and strings are accepted for convenience and converted to their
+    minimal big-endian / UTF-8 byte representation first.
+    """
+    if isinstance(item, int):
+        if item < 0:
+            raise ValueError("rlp_encode does not support negative integers")
+        item = item.to_bytes((item.bit_length() + 7) // 8, "big") if item else b""
+    if isinstance(item, str):
+        item = item.encode("utf-8")
+    if isinstance(item, (bytes, bytearray)):
+        data = bytes(item)
+        if len(data) == 1 and data[0] < 0x80:
+            return data
+        return _encode_length(len(data), 0x80) + data
+    if isinstance(item, (list, tuple)):
+        payload = b"".join(rlp_encode(sub) for sub in item)
+        return _encode_length(len(payload), 0xC0) + payload
+    raise TypeError(f"rlp_encode cannot encode {type(item).__name__}")
+
+
+def rlp_decode(data: bytes) -> RlpItem:
+    """Decode RLP-encoded bytes back into nested bytes/lists."""
+    item, consumed = _decode_item(bytes(data), 0)
+    if consumed != len(data):
+        raise ValueError("trailing bytes after RLP item")
+    return item
+
+
+def _decode_item(data: bytes, offset: int) -> tuple:
+    """Decode one RLP item starting at ``offset``; return (item, next offset)."""
+    if offset >= len(data):
+        raise ValueError("unexpected end of RLP data")
+    prefix = data[offset]
+    if prefix < 0x80:
+        return bytes([prefix]), offset + 1
+    if prefix < 0xB8:
+        length = prefix - 0x80
+        start = offset + 1
+        return data[start:start + length], start + length
+    if prefix < 0xC0:
+        length_size = prefix - 0xB7
+        start = offset + 1
+        length = int.from_bytes(data[start:start + length_size], "big")
+        start += length_size
+        return data[start:start + length], start + length
+    if prefix < 0xF8:
+        length = prefix - 0xC0
+        return _decode_list(data, offset + 1, length)
+    length_size = prefix - 0xF7
+    start = offset + 1
+    length = int.from_bytes(data[start:start + length_size], "big")
+    return _decode_list(data, start + length_size, length)
+
+
+def _decode_list(data: bytes, start: int, length: int) -> tuple:
+    """Decode a list payload of ``length`` bytes starting at ``start``."""
+    end = start + length
+    items: List[RlpItem] = []
+    cursor = start
+    while cursor < end:
+        item, cursor = _decode_item(data, cursor)
+        items.append(item)
+    if cursor != end:
+        raise ValueError("malformed RLP list payload")
+    return items, end

@@ -1,0 +1,33 @@
+"""The Web 3.0 application layer: backend service, wallet and DApp facades.
+
+The original demo is a React DApp in Chrome talking to MetaMask (for
+transactions) and to a Flask backend on the buyer's workstation (for running
+the one-shot FL algorithm).  This package reproduces that layer in-process:
+
+* :mod:`repro.web.http` -- a tiny WSGI-like request/response/router stack;
+* :mod:`repro.web.backend` -- the buyer's Flask-like backend application with
+  REST routes for task management, model retrieval, aggregation and
+  incentive computation;
+* :mod:`repro.web.wallet` -- a MetaMask-like wallet: account management, gas
+  preview, user confirmation and transaction signing;
+* :mod:`repro.web.dapp` -- the owner-facing and buyer-facing DApp facades
+  whose methods correspond to the buttons in Fig. 3 of the paper.
+"""
+
+from repro.web.backend import BuyerBackend
+from repro.web.client import RestClient
+from repro.web.dapp import BuyerDApp, OwnerDApp
+from repro.web.http import HttpRequest, HttpResponse, Router
+from repro.web.wallet import MetaMaskWallet, TransactionPreview
+
+__all__ = [
+    "BuyerBackend",
+    "RestClient",
+    "BuyerDApp",
+    "OwnerDApp",
+    "HttpRequest",
+    "HttpResponse",
+    "Router",
+    "MetaMaskWallet",
+    "TransactionPreview",
+]

@@ -1,0 +1,151 @@
+"""Tests for repro.chain.chain (block production) and repro.chain.node (API)."""
+
+import pytest
+
+from repro.errors import UnknownBlockError, UnknownTransactionError
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.chain.chain import ChainConfig
+from repro.chain.events import LogFilter
+from repro.contracts import default_registry
+from repro.utils.units import ether_to_wei, gwei_to_wei
+
+ALICE = KeyPair.from_label("alice")
+BOB = KeyPair.from_label("bob")
+GAS_PRICE = gwei_to_wei(1)
+
+
+@pytest.fixture()
+def funded_node():
+    node = EthereumNode(config=ChainConfig(), backend=default_registry())
+    faucet = Faucet(node)
+    faucet.drip(ALICE.address, ether_to_wei(5))
+    faucet.drip(BOB.address, ether_to_wei(5))
+    return node
+
+
+class TestGenesisAndBlocks:
+    def test_genesis_exists(self, funded_node):
+        genesis = funded_node.get_block(0)
+        assert genesis.number == 0
+        assert funded_node.block_number == 0
+
+    def test_unknown_block_raises(self, funded_node):
+        with pytest.raises(UnknownBlockError):
+            funded_node.get_block(99)
+
+    def test_block_lookup_by_hash(self, funded_node):
+        block = funded_node.mine(1)[0]
+        assert funded_node.get_block(block.hash).number == block.number
+
+    def test_empty_block_production_advances_clock_one_slot(self, funded_node):
+        start = funded_node.clock.now
+        funded_node.mine(1)
+        assert funded_node.clock.now == start + funded_node.chain.config.slot_seconds
+
+    def test_blocks_link_to_parents(self, funded_node):
+        funded_node.mine(3)
+        blocks = funded_node.chain.blocks()
+        for parent, child in zip(blocks, blocks[1:]):
+            assert child.header.parent_hash == parent.hash
+
+
+class TestTransactionLifecycle:
+    def test_transfer_included_and_balances_updated(self, funded_node):
+        tx_hash = funded_node.sign_and_send(
+            ALICE, BOB.address, value=ether_to_wei(1), gas_limit=21_000, gas_price=GAS_PRICE
+        )
+        receipt = funded_node.wait_for_receipt(tx_hash)
+        assert receipt.status
+        assert funded_node.get_balance(BOB.address) == ether_to_wei(6)
+        assert funded_node.get_transaction_count(ALICE.address) == 1
+
+    def test_receipt_records_block_position(self, funded_node):
+        tx_hash = funded_node.sign_and_send(
+            ALICE, BOB.address, value=1, gas_limit=21_000, gas_price=GAS_PRICE
+        )
+        receipt = funded_node.wait_for_receipt(tx_hash)
+        assert receipt.block_number == 1
+        assert receipt.transaction_index == 0
+        assert receipt.block_hash == funded_node.get_block(1).hash
+
+    def test_unknown_receipt_raises(self, funded_node):
+        with pytest.raises(UnknownTransactionError):
+            funded_node.get_receipt("0x" + "00" * 32)
+
+    def test_pending_nonce_accounts_for_queued_transactions(self, funded_node):
+        funded_node.sign_and_send(ALICE, BOB.address, value=1, gas_price=GAS_PRICE)
+        assert funded_node.pending_nonce(ALICE.address) == 1
+        funded_node.sign_and_send(ALICE, BOB.address, value=2, gas_price=GAS_PRICE)
+        assert funded_node.pending_nonce(ALICE.address) == 2
+
+    def test_multiple_queued_transactions_included_in_one_block(self, funded_node):
+        hashes = [
+            funded_node.sign_and_send(ALICE, BOB.address, value=i + 1, gas_price=GAS_PRICE)
+            for i in range(3)
+        ]
+        funded_node.mine(1)
+        for tx_hash in hashes:
+            assert funded_node.get_receipt(tx_hash).status
+        assert funded_node.get_block(1).header.gas_used == 3 * 21_000
+
+    def test_get_transaction_returns_pending_and_included(self, funded_node):
+        tx_hash = funded_node.sign_and_send(ALICE, BOB.address, value=1, gas_price=GAS_PRICE)
+        assert funded_node.get_transaction(tx_hash).value == 1
+        funded_node.mine(1)
+        assert funded_node.get_transaction(tx_hash).value == 1
+
+
+class TestContractsViaNode:
+    def test_deploy_call_and_read(self, funded_node):
+        deploy_hash = funded_node.deploy_contract(ALICE, "CidStorage", [], gas_price=GAS_PRICE)
+        deployment = funded_node.wait_for_receipt(deploy_hash)
+        address = deployment.contract_address
+        assert funded_node.is_contract(address)
+
+        call_hash = funded_node.transact_contract(
+            BOB, address, "uploadCid", ["QmNodeTest"], gas_price=GAS_PRICE
+        )
+        receipt = funded_node.wait_for_receipt(call_hash)
+        assert receipt.status
+        assert funded_node.call(address, "cidCount") == 1
+        assert funded_node.call(address, "getCid", [0]) == "QmNodeTest"
+
+    def test_event_logs_are_filterable(self, funded_node):
+        deploy_hash = funded_node.deploy_contract(ALICE, "CidStorage", [], gas_price=GAS_PRICE)
+        address = funded_node.wait_for_receipt(deploy_hash).contract_address
+        call_hash = funded_node.transact_contract(
+            BOB, address, "uploadCid", ["QmEvent"], gas_price=GAS_PRICE
+        )
+        funded_node.wait_for_receipt(call_hash)
+        logs = funded_node.get_logs(LogFilter(address=address, event_name="CidUploaded"))
+        assert len(logs) == 1
+        assert logs[0].args["cid"] == "QmEvent"
+        assert funded_node.get_logs(LogFilter(event_name="DoesNotExist")) == []
+
+    def test_estimate_gas_close_to_actual(self, funded_node):
+        from repro.chain.account import Address
+        from repro.chain.transaction import Transaction, encode_create
+
+        tx = Transaction(
+            sender=Address(ALICE.address),
+            to=None,
+            data=encode_create("CidStorage", []),
+            nonce=funded_node.pending_nonce(ALICE.address),
+            gas_limit=3_000_000,
+            gas_price=GAS_PRICE,
+        ).sign(ALICE)
+        estimate = funded_node.estimate_gas(tx)
+        deploy_hash = funded_node.send_transaction(tx)
+        actual = funded_node.wait_for_receipt(deploy_hash).gas_used
+        assert actual <= estimate <= int(actual * 1.25)
+
+
+class TestChainStatistics:
+    def test_clock_advances_with_waits(self, funded_node):
+        before = funded_node.clock.now
+        tx_hash = funded_node.sign_and_send(ALICE, BOB.address, value=1, gas_price=GAS_PRICE)
+        funded_node.wait_for_receipt(tx_hash)
+        assert funded_node.clock.now > before
+
+    def test_chain_id_is_sepolia(self, funded_node):
+        assert funded_node.chain_id == 11155111

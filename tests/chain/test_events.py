@@ -1,0 +1,54 @@
+"""Tests for repro.chain.events."""
+
+from repro.chain.account import Address
+from repro.chain.events import EventLog, LogFilter
+from repro.chain.keys import KeyPair
+
+CONTRACT = Address(KeyPair.from_label("contract").address)
+OTHER = Address(KeyPair.from_label("other").address)
+
+
+def make_log(name="CidUploaded", block=1, **args):
+    return EventLog(address=CONTRACT, name=name, args=args, block_number=block)
+
+
+class TestEventLog:
+    def test_topic_is_stable_per_name(self):
+        assert make_log().topic == make_log(cid="different").topic
+
+    def test_topic_differs_across_names(self):
+        assert make_log("A").topic != make_log("B").topic
+
+    def test_to_dict(self):
+        payload = make_log(cid="Qm1", index=0).to_dict()
+        assert payload["event"] == "CidUploaded"
+        assert payload["args"]["cid"] == "Qm1"
+
+
+class TestLogFilter:
+    def test_empty_filter_matches_everything(self):
+        logs = [make_log(), make_log("PaymentSent", block=3)]
+        assert LogFilter().apply(logs) == logs
+
+    def test_filter_by_event_name(self):
+        logs = [make_log("A"), make_log("B")]
+        assert [log.name for log in LogFilter(event_name="A").apply(logs)] == ["A"]
+
+    def test_filter_by_address(self):
+        mine = make_log()
+        theirs = EventLog(address=OTHER, name="CidUploaded", args={})
+        assert LogFilter(address=CONTRACT).apply([mine, theirs]) == [mine]
+
+    def test_filter_by_block_range(self):
+        logs = [make_log(block=1), make_log(block=5), make_log(block=9)]
+        filtered = LogFilter(from_block=2, to_block=8).apply(logs)
+        assert [log.block_number for log in filtered] == [5]
+
+    def test_filter_by_argument(self):
+        logs = [make_log(cid="a"), make_log(cid="b")]
+        assert LogFilter(arg_filters={"cid": "b"}).apply(logs) == [logs[1]]
+
+    def test_combined_criteria(self):
+        logs = [make_log(cid="a", block=1), make_log(cid="a", block=7)]
+        filtered = LogFilter(event_name="CidUploaded", from_block=5, arg_filters={"cid": "a"}).apply(logs)
+        assert filtered == [logs[1]]

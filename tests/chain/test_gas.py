@@ -1,0 +1,76 @@
+"""Tests for repro.chain.gas."""
+
+import pytest
+
+from repro.errors import OutOfGasError
+from repro.chain.gas import GasMeter, GasSchedule, SEPOLIA_GAS_SCHEDULE
+
+
+class TestGasSchedule:
+    def test_calldata_gas_distinguishes_zero_bytes(self):
+        schedule = GasSchedule()
+        assert schedule.calldata_gas(b"\x00\x00") == 2 * schedule.calldata_zero_byte
+        assert schedule.calldata_gas(b"\x01\x02") == 2 * schedule.calldata_nonzero_byte
+
+    def test_intrinsic_gas_plain_transfer(self):
+        schedule = GasSchedule()
+        assert schedule.intrinsic_gas(b"", is_create=False) == 21_000
+
+    def test_intrinsic_gas_creation_surcharge(self):
+        schedule = GasSchedule()
+        assert schedule.intrinsic_gas(b"", is_create=True) == 21_000 + 32_000
+
+    def test_code_deposit_gas(self):
+        schedule = GasSchedule()
+        assert schedule.code_deposit_gas(100) == 100 * schedule.code_deposit_byte
+
+    def test_log_gas(self):
+        schedule = GasSchedule()
+        expected = schedule.log_base + 2 * schedule.log_topic + 10 * schedule.log_data_byte
+        assert schedule.log_gas(num_topics=2, data_size=10) == expected
+
+    def test_default_schedule_matches_mainnet_values(self):
+        assert SEPOLIA_GAS_SCHEDULE.tx_base == 21_000
+        assert SEPOLIA_GAS_SCHEDULE.calldata_nonzero_byte == 16
+        assert SEPOLIA_GAS_SCHEDULE.code_deposit_byte == 200
+
+
+class TestGasMeter:
+    def test_consume_accumulates(self):
+        meter = GasMeter(100_000)
+        meter.consume(21_000)
+        meter.consume(5_000)
+        assert meter.gas_used == 26_000
+        assert meter.gas_remaining == 74_000
+
+    def test_exceeding_limit_raises(self):
+        meter = GasMeter(10_000)
+        with pytest.raises(OutOfGasError):
+            meter.consume(10_001)
+
+    def test_out_of_gas_consumes_everything(self):
+        meter = GasMeter(10_000)
+        with pytest.raises(OutOfGasError):
+            meter.consume(50_000)
+        assert meter.gas_used == 10_000
+
+    def test_negative_consumption_rejected(self):
+        meter = GasMeter(10_000)
+        with pytest.raises(ValueError):
+            meter.consume(-1)
+
+    def test_refund_capped_at_one_fifth(self):
+        meter = GasMeter(1_000_000)
+        meter.consume(100_000)
+        meter.add_refund(90_000)
+        assert meter.settle() == 100_000 - 20_000
+
+    def test_refund_below_cap_applied_fully(self):
+        meter = GasMeter(1_000_000)
+        meter.consume(100_000)
+        meter.add_refund(5_000)
+        assert meter.settle() == 95_000
+
+    def test_zero_gas_limit_rejected(self):
+        with pytest.raises(ValueError):
+            GasMeter(0)

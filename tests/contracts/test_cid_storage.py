@@ -1,0 +1,113 @@
+"""Tests for the CidStorage contract (Fig. 2 of the paper), run through a node."""
+
+import pytest
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.contracts import default_registry
+from repro.utils.units import ether_to_wei, gwei_to_wei
+
+OWNER_A = KeyPair.from_label("cid-owner-a")
+OWNER_B = KeyPair.from_label("cid-owner-b")
+DEPLOYER = KeyPair.from_label("cid-deployer")
+GAS_PRICE = gwei_to_wei(1)
+
+
+@pytest.fixture()
+def deployed():
+    node = EthereumNode(backend=default_registry())
+    faucet = Faucet(node)
+    for keys in (OWNER_A, OWNER_B, DEPLOYER):
+        faucet.drip(keys.address, ether_to_wei(1))
+    receipt = node.wait_for_receipt(
+        node.deploy_contract(DEPLOYER, "CidStorage", [], gas_price=GAS_PRICE)
+    )
+    return node, receipt.contract_address
+
+
+class TestUpload:
+    def test_upload_assigns_sequential_indices(self, deployed):
+        node, address = deployed
+        first = node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", ["QmA"], gas_price=GAS_PRICE)
+        )
+        second = node.wait_for_receipt(
+            node.transact_contract(OWNER_B, address, "uploadCid", ["QmB"], gas_price=GAS_PRICE)
+        )
+        assert first.return_value == 0
+        assert second.return_value == 1
+        assert node.call(address, "cidCount") == 2
+
+    def test_upload_records_uploader(self, deployed):
+        node, address = deployed
+        node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", ["QmA"], gas_price=GAS_PRICE)
+        )
+        assert node.call(address, "getUploader", [0]) == OWNER_A.address
+
+    def test_upload_emits_event(self, deployed):
+        node, address = deployed
+        receipt = node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", ["QmA"], gas_price=GAS_PRICE)
+        )
+        events = [log.name for log in receipt.logs]
+        assert "CidUploaded" in events
+
+    def test_empty_cid_rejected(self, deployed):
+        node, address = deployed
+        receipt = node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", [""], gas_price=GAS_PRICE)
+        )
+        assert not receipt.status
+        assert node.call(address, "cidCount") == 0
+
+    def test_oversized_cid_rejected(self, deployed):
+        node, address = deployed
+        receipt = node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", ["Q" * 200], gas_price=GAS_PRICE)
+        )
+        assert not receipt.status
+
+
+class TestReads:
+    def test_get_cid_returns_stored_value(self, deployed):
+        node, address = deployed
+        node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", ["QmA"], gas_price=GAS_PRICE)
+        )
+        assert node.call(address, "getCid", [0]) == "QmA"
+
+    def test_get_all_cids_in_order(self, deployed):
+        node, address = deployed
+        for cid in ("Qm1", "Qm2", "Qm3"):
+            node.wait_for_receipt(
+                node.transact_contract(OWNER_A, address, "uploadCid", [cid], gas_price=GAS_PRICE)
+            )
+        assert node.call(address, "getAllCids") == ["Qm1", "Qm2", "Qm3"]
+
+    def test_invalid_index_reverts(self, deployed):
+        node, address = deployed
+        from repro.errors import ContractRevert
+
+        with pytest.raises(ContractRevert, match="Invalid CID index"):
+            node.call(address, "getCid", [0])
+
+    def test_owner_is_deployer(self, deployed):
+        node, address = deployed
+        assert node.call(address, "owner") == DEPLOYER.address
+
+    def test_reads_cost_no_gas(self, deployed):
+        node, address = deployed
+        balance_before = node.get_balance(OWNER_A.address)
+        node.call(address, "getAllCids", caller=OWNER_A.address)
+        node.call(address, "cidCount", caller=OWNER_A.address)
+        assert node.get_balance(OWNER_A.address) == balance_before
+
+
+class TestGasBehaviour:
+    def test_cid_submission_much_cheaper_than_deployment(self, deployed):
+        node, address = deployed
+        deploy_record = node.chain.get_block(1).receipts[0]
+        upload = node.wait_for_receipt(
+            node.transact_contract(OWNER_A, address, "uploadCid", ["Qm" + "a" * 44], gas_price=GAS_PRICE)
+        )
+        assert deploy_record.gas_used > 5 * upload.gas_used

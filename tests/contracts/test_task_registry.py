@@ -1,0 +1,124 @@
+"""Tests for the TaskRegistry contract (on-chain task discovery)."""
+
+import pytest
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.contracts import default_registry
+from repro.errors import ContractRevert
+from repro.utils.units import ether_to_wei, gwei_to_wei
+
+ADMIN = KeyPair.from_label("registry-admin")
+BUYER_A = KeyPair.from_label("registry-buyer-a")
+BUYER_B = KeyPair.from_label("registry-buyer-b")
+GAS_PRICE = gwei_to_wei(1)
+
+
+@pytest.fixture()
+def env():
+    node = EthereumNode(backend=default_registry())
+    faucet = Faucet(node)
+    for keys in (ADMIN, BUYER_A, BUYER_B):
+        faucet.drip(keys.address, ether_to_wei(1))
+    registry = node.wait_for_receipt(
+        node.deploy_contract(ADMIN, "TaskRegistry", [], gas_price=GAS_PRICE)
+    ).contract_address
+    # Two real FLTask contracts to announce.
+    task_a = node.wait_for_receipt(
+        node.deploy_contract(BUYER_A, "FLTask", [{"task": "digits", "max_owners": 5}],
+                             value=ether_to_wei("0.01"), gas_price=GAS_PRICE)
+    ).contract_address
+    task_b = node.wait_for_receipt(
+        node.deploy_contract(BUYER_B, "FLTask", [{"task": "letters", "max_owners": 3}],
+                             gas_price=GAS_PRICE)
+    ).contract_address
+    return node, str(registry), str(task_a), str(task_b)
+
+
+def transact(node, keys, address, method, args):
+    return node.wait_for_receipt(
+        node.transact_contract(keys, address, method, args, gas_price=GAS_PRICE)
+    )
+
+
+class TestAnnouncement:
+    def test_announce_and_lookup(self, env):
+        node, registry, task_a, _ = env
+        receipt = transact(node, BUYER_A, registry, "announceTask",
+                           [task_a, {"task": "digits", "reward_eth": "0.01"}])
+        assert receipt.status
+        assert receipt.return_value == 0
+        assert node.call(registry, "taskCount") == 1
+        record = node.call(registry, "getTask", [0])
+        assert record["task_address"] == task_a
+        assert record["buyer"] == BUYER_A.address
+        assert record["active"] is True
+        assert node.call(registry, "findByAddress", [task_a]) == 0
+
+    def test_duplicate_announcement_rejected(self, env):
+        node, registry, task_a, _ = env
+        transact(node, BUYER_A, registry, "announceTask", [task_a, {"task": "digits"}])
+        duplicate = transact(node, BUYER_A, registry, "announceTask", [task_a, {"task": "digits"}])
+        assert not duplicate.status
+        assert node.call(registry, "taskCount") == 1
+
+    def test_empty_summary_rejected(self, env):
+        node, registry, task_a, _ = env
+        receipt = transact(node, BUYER_A, registry, "announceTask", [task_a, {}])
+        assert not receipt.status
+
+    def test_invalid_address_rejected(self, env):
+        node, registry, _, _ = env
+        receipt = transact(node, BUYER_A, registry, "announceTask", ["not-an-address", {"x": 1}])
+        assert not receipt.status
+
+    def test_unknown_lookup_reverts(self, env):
+        node, registry, task_a, _ = env
+        with pytest.raises(ContractRevert):
+            node.call(registry, "findByAddress", [task_a])
+
+
+class TestListingAndDeactivation:
+    def test_active_listing_reflects_deactivation(self, env):
+        node, registry, task_a, task_b = env
+        transact(node, BUYER_A, registry, "announceTask", [task_a, {"task": "digits"}])
+        transact(node, BUYER_B, registry, "announceTask", [task_b, {"task": "letters"}])
+        active = node.call(registry, "listActiveTasks")
+        assert {record["task_address"] for record in active} == {task_a, task_b}
+
+        transact(node, BUYER_A, registry, "deactivateTask", [0])
+        active = node.call(registry, "listActiveTasks")
+        assert [record["task_address"] for record in active] == [task_b]
+        # The record itself is retained for auditability.
+        assert node.call(registry, "getTask", [0])["active"] is False
+
+    def test_only_announcer_can_deactivate(self, env):
+        node, registry, task_a, _ = env
+        transact(node, BUYER_A, registry, "announceTask", [task_a, {"task": "digits"}])
+        receipt = transact(node, BUYER_B, registry, "deactivateTask", [0])
+        assert not receipt.status
+
+    def test_double_deactivation_rejected(self, env):
+        node, registry, task_a, _ = env
+        transact(node, BUYER_A, registry, "announceTask", [task_a, {"task": "digits"}])
+        transact(node, BUYER_A, registry, "deactivateTask", [0])
+        again = transact(node, BUYER_A, registry, "deactivateTask", [0])
+        assert not again.status
+
+    def test_events_emitted(self, env):
+        node, registry, task_a, _ = env
+        receipt = transact(node, BUYER_A, registry, "announceTask", [task_a, {"task": "digits"}])
+        assert any(log.name == "TaskAnnounced" for log in receipt.logs)
+        receipt = transact(node, BUYER_A, registry, "deactivateTask", [0])
+        assert any(log.name == "TaskDeactivated" for log in receipt.logs)
+
+    def test_owner_discovers_task_spec_through_registry(self, env):
+        """An owner can go registry -> task address -> task spec, all via reads."""
+        node, registry, task_a, _ = env
+        transact(node, BUYER_A, registry, "announceTask",
+                 [task_a, {"task": "digits", "reward_eth": "0.01"}])
+        index = node.call(registry, "findByAddress", [task_a])
+        record = node.call(registry, "getTask", [index])
+        spec = node.call(record["task_address"], "spec")
+        assert spec["task"] == "digits"
+        budget = node.call(record["task_address"], "budget")
+        assert budget == ether_to_wei("0.01")

@@ -1,0 +1,92 @@
+"""Tests for the Token contract."""
+
+import pytest
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.contracts import default_registry
+from repro.utils.units import ether_to_wei, gwei_to_wei
+
+ISSUER = KeyPair.from_label("token-issuer")
+HOLDER = KeyPair.from_label("token-holder")
+SPENDER = KeyPair.from_label("token-spender")
+GAS_PRICE = gwei_to_wei(1)
+
+
+@pytest.fixture()
+def env():
+    node = EthereumNode(backend=default_registry())
+    faucet = Faucet(node)
+    for keys in (ISSUER, HOLDER, SPENDER):
+        faucet.drip(keys.address, ether_to_wei(1))
+    receipt = node.wait_for_receipt(
+        node.deploy_contract(ISSUER, "Token", ["OFL Reward", "OFL", 1_000_000], gas_price=GAS_PRICE)
+    )
+    return node, str(receipt.contract_address)
+
+
+def transact(node, keys, address, method, args):
+    return node.wait_for_receipt(
+        node.transact_contract(keys, address, method, args, gas_price=GAS_PRICE)
+    )
+
+
+class TestDeployment:
+    def test_metadata(self, env):
+        node, token = env
+        assert node.call(token, "name") == "OFL Reward"
+        assert node.call(token, "symbol") == "OFL"
+        assert node.call(token, "totalSupply") == 1_000_000
+
+    def test_initial_supply_to_deployer(self, env):
+        node, token = env
+        assert node.call(token, "balanceOf", [ISSUER.address]) == 1_000_000
+
+
+class TestTransfers:
+    def test_transfer(self, env):
+        node, token = env
+        transact(node, ISSUER, token, "transfer", [HOLDER.address, 500])
+        assert node.call(token, "balanceOf", [HOLDER.address]) == 500
+        assert node.call(token, "balanceOf", [ISSUER.address]) == 999_500
+
+    def test_transfer_beyond_balance_fails(self, env):
+        node, token = env
+        receipt = transact(node, HOLDER, token, "transfer", [ISSUER.address, 1])
+        assert not receipt.status
+
+    def test_supply_conserved_by_transfers(self, env):
+        node, token = env
+        transact(node, ISSUER, token, "transfer", [HOLDER.address, 123])
+        total = sum(
+            node.call(token, "balanceOf", [k.address]) for k in (ISSUER, HOLDER, SPENDER)
+        )
+        assert total == 1_000_000
+
+
+class TestAllowances:
+    def test_approve_and_transfer_from(self, env):
+        node, token = env
+        transact(node, ISSUER, token, "approve", [SPENDER.address, 300])
+        assert node.call(token, "allowance", [ISSUER.address, SPENDER.address]) == 300
+        transact(node, SPENDER, token, "transferFrom", [ISSUER.address, HOLDER.address, 200])
+        assert node.call(token, "balanceOf", [HOLDER.address]) == 200
+        assert node.call(token, "allowance", [ISSUER.address, SPENDER.address]) == 100
+
+    def test_transfer_from_beyond_allowance_fails(self, env):
+        node, token = env
+        transact(node, ISSUER, token, "approve", [SPENDER.address, 50])
+        receipt = transact(node, SPENDER, token, "transferFrom", [ISSUER.address, HOLDER.address, 51])
+        assert not receipt.status
+
+
+class TestMinting:
+    def test_owner_can_mint(self, env):
+        node, token = env
+        transact(node, ISSUER, token, "mint", [HOLDER.address, 1000])
+        assert node.call(token, "totalSupply") == 1_001_000
+        assert node.call(token, "balanceOf", [HOLDER.address]) == 1000
+
+    def test_non_owner_cannot_mint(self, env):
+        node, token = env
+        receipt = transact(node, HOLDER, token, "mint", [HOLDER.address, 1000])
+        assert not receipt.status

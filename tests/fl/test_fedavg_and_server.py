@@ -1,0 +1,99 @@
+"""Tests for repro.fl.fedavg and repro.fl.server."""
+
+import pytest
+
+from repro.errors import AggregationError
+from repro.fl import FedAvgConfig, FedAvgServer, FLClient, OneShotServer
+from repro.fl.oneshot import make_aggregator
+from repro.ml import TrainingConfig
+
+
+@pytest.fixture()
+def clients(tiny_client_datasets):
+    return [
+        FLClient(
+            f"client-{i}",
+            dataset,
+            config=TrainingConfig(epochs=1, batch_size=32, seed=i),
+            seed=i,
+        )
+        for i, dataset in enumerate(tiny_client_datasets)
+    ]
+
+
+class TestFedAvg:
+    def test_runs_requested_rounds(self, clients, tiny_split):
+        _, test = tiny_split
+        server = FedAvgServer(clients, FedAvgConfig(num_rounds=2, local_epochs=1, seed=0))
+        history = server.run(test)
+        assert len(history) == 2
+        assert server.total_client_uploads == 2 * len(clients)
+
+    def test_accuracy_improves_over_rounds(self, clients, tiny_split):
+        _, test = tiny_split
+        server = FedAvgServer(clients, FedAvgConfig(num_rounds=4, local_epochs=1, seed=0))
+        history = server.run(test)
+        assert history[-1].test_accuracy >= history[0].test_accuracy - 0.05
+        assert history[-1].test_accuracy > 0.3
+
+    def test_client_sampling(self, clients, tiny_split):
+        _, test = tiny_split
+        config = FedAvgConfig(num_rounds=2, clients_per_round=2, local_epochs=1, seed=0)
+        server = FedAvgServer(clients, config)
+        history = server.run(test)
+        assert all(len(record.participating_clients) == 2 for record in history)
+
+    def test_needs_clients(self):
+        with pytest.raises(AggregationError):
+            FedAvgServer([], FedAvgConfig(num_rounds=1))
+
+    def test_history_without_test_dataset(self, clients):
+        server = FedAvgServer(clients, FedAvgConfig(num_rounds=1, local_epochs=1, seed=0))
+        history = server.run()
+        assert len(history) == 1
+
+
+class TestOneShotServer:
+    def test_submit_and_aggregate(self, trained_updates, tiny_split):
+        _, test = tiny_split
+        server = OneShotServer(aggregator=make_aggregator("mean"))
+        for update in trained_updates:
+            server.submit(update)
+        assert server.num_updates == len(trained_updates)
+        result = server.aggregate()
+        assert 0.0 <= result.evaluate(test) <= 1.0
+
+    def test_submit_payload(self, trained_updates):
+        server = OneShotServer()
+        index = server.submit_payload(trained_updates[0].to_payload(), num_samples=10, client_id="o")
+        assert index == 0
+        assert server.updates[0].client_id == "o"
+
+    def test_aggregate_subset(self, trained_updates, tiny_split):
+        _, test = tiny_split
+        server = OneShotServer(aggregator=make_aggregator("mean"))
+        for update in trained_updates:
+            server.submit(update)
+        full = server.aggregate()
+        partial = server.aggregate(subset=[0, 1])
+        assert partial.num_updates == 2
+        assert full.num_updates == len(trained_updates)
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(AggregationError):
+            OneShotServer().aggregate()
+
+    def test_empty_subset_rejected(self, trained_updates):
+        server = OneShotServer()
+        server.submit(trained_updates[0])
+        with pytest.raises(AggregationError):
+            server.aggregate(subset=[])
+
+    def test_evaluate_locals(self, trained_updates, tiny_split):
+        _, test = tiny_split
+        server = OneShotServer()
+        for update in trained_updates:
+            server.submit(update)
+        accuracies = server.evaluate_locals(test)
+        assert len(accuracies) == len(trained_updates)
+        assert all(0.0 <= acc <= 1.0 for acc in accuracies.values())

@@ -1,0 +1,97 @@
+"""Tests for repro.incentives.payment and repro.incentives.report."""
+
+import pytest
+
+from repro.errors import BudgetError
+from repro.incentives import allocate_budget, format_payment_table, leave_one_out
+from repro.utils.units import ether_to_wei
+
+OWNERS = [f"0x{i:040x}" for i in range(1, 5)]
+BUDGET = ether_to_wei("0.01")
+
+
+def report_with_scores(scores):
+    return leave_one_out(len(scores), lambda subset: sum(scores[i] for i in subset))
+
+
+class TestAllocateBudget:
+    def test_allocation_proportional_to_contribution(self):
+        report = report_with_scores([0.1, 0.3, 0.4, 0.2])
+        plan = allocate_budget(report, OWNERS, BUDGET)
+        amounts = list(plan.amounts_wei.values())
+        assert amounts[1] > amounts[0]
+        assert amounts[2] > amounts[1]
+        # Proportionality: owner 2 contributes 4x owner 0.
+        assert abs(amounts[2] / amounts[0] - 4.0) < 0.01
+
+    def test_total_never_exceeds_budget(self):
+        report = report_with_scores([0.5, 0.5, 0.5, 0.5])
+        plan = allocate_budget(report, OWNERS, BUDGET)
+        assert plan.total_wei <= BUDGET
+        assert plan.unallocated_wei >= 0
+
+    def test_negative_contributions_clipped(self):
+        report = report_with_scores([0.5, -0.2, 0.3, 0.1])
+        plan = allocate_budget(report, OWNERS, BUDGET)
+        assert plan.amounts_wei[OWNERS[1]] == 0
+
+    def test_reserve_fraction_withheld(self):
+        report = report_with_scores([0.25, 0.25, 0.25, 0.25])
+        plan = allocate_budget(report, OWNERS, BUDGET, reserve_fraction=0.5)
+        assert plan.total_wei <= BUDGET // 2
+
+    def test_min_payment_floor(self):
+        report = report_with_scores([1.0, 0.0, 0.0, 0.0])
+        floor = ether_to_wei("0.0001")
+        plan = allocate_budget(report, OWNERS, BUDGET, min_payment_wei=floor)
+        assert all(amount >= floor for amount in plan.amounts_wei.values())
+
+    def test_zero_contributions_split_evenly(self):
+        report = report_with_scores([0.0, 0.0, 0.0, 0.0])
+        plan = allocate_budget(report, OWNERS, BUDGET)
+        amounts = list(plan.amounts_wei.values())
+        assert max(amounts) - min(amounts) <= 1
+
+    def test_floor_larger_than_budget_rejected(self):
+        report = report_with_scores([0.1] * 4)
+        with pytest.raises(BudgetError):
+            allocate_budget(report, OWNERS, BUDGET, min_payment_wei=BUDGET)
+
+    def test_mismatched_owner_count_rejected(self):
+        report = report_with_scores([0.1, 0.2])
+        with pytest.raises(BudgetError):
+            allocate_budget(report, OWNERS, BUDGET)
+
+    def test_non_positive_budget_rejected(self):
+        report = report_with_scores([0.1] * 4)
+        with pytest.raises(BudgetError):
+            allocate_budget(report, OWNERS, 0)
+
+    def test_invalid_reserve_rejected(self):
+        report = report_with_scores([0.1] * 4)
+        with pytest.raises(BudgetError):
+            allocate_budget(report, OWNERS, BUDGET, reserve_fraction=1.0)
+
+    def test_rows_format_like_table_1(self):
+        report = report_with_scores([0.1, 0.2, 0.3, 0.4])
+        rows = allocate_budget(report, OWNERS, BUDGET).to_rows()
+        assert len(rows) == 4
+        assert all(set(row) == {"wallet_address", "payment_eth"} for row in rows)
+        assert all("." in row["payment_eth"] for row in rows)
+
+
+class TestFormatPaymentTable:
+    def test_contains_every_owner_and_totals(self):
+        report = report_with_scores([0.1, 0.2, 0.3, 0.4])
+        plan = allocate_budget(report, OWNERS, BUDGET)
+        table = format_payment_table(plan)
+        for owner in OWNERS:
+            assert owner in table
+        assert "Payment (ETH)" in table
+        assert "Total paid" in table
+        assert "Unallocated" in table
+
+    def test_custom_title(self):
+        report = report_with_scores([1.0, 1.0, 1.0, 1.0])
+        plan = allocate_budget(report, OWNERS, BUDGET)
+        assert format_payment_table(plan, title="Table 1").startswith("Table 1")

@@ -1,0 +1,99 @@
+"""Tests for repro.ipfs.blockstore and repro.ipfs.pinning."""
+
+import pytest
+
+from repro.errors import BlockNotFoundError, InvalidCidError, PinError
+from repro.ipfs.blockstore import BlockStore
+from repro.ipfs.cid import CID, RAW_CODEC
+from repro.ipfs.pinning import DIRECT, RECURSIVE, PinSet
+
+
+def cid_of(payload: bytes) -> CID:
+    return CID.from_bytes_payload(payload, version=1, codec=RAW_CODEC)
+
+
+class TestBlockStore:
+    def test_put_and_get(self):
+        store = BlockStore()
+        cid = cid_of(b"block")
+        store.put(cid, b"block")
+        assert store.get(cid) == b"block"
+        assert cid in store
+        assert len(store) == 1
+
+    def test_put_verifies_content(self):
+        store = BlockStore()
+        with pytest.raises(InvalidCidError):
+            store.put(cid_of(b"expected"), b"tampered")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(BlockNotFoundError):
+            BlockStore().get(cid_of(b"missing"))
+
+    def test_delete(self):
+        store = BlockStore()
+        cid = cid_of(b"block")
+        store.put(cid, b"block")
+        assert store.delete(cid)
+        assert not store.has(cid)
+        assert not store.delete(cid)
+
+    def test_idempotent_put(self):
+        store = BlockStore()
+        cid = cid_of(b"block")
+        store.put(cid, b"block")
+        store.put(cid, b"block")
+        assert len(store) == 1
+
+    def test_total_bytes(self):
+        store = BlockStore()
+        store.put(cid_of(b"aa"), b"aa")
+        store.put(cid_of(b"bbbb"), b"bbbb")
+        assert store.total_bytes() == 6
+
+    def test_accepts_string_cids(self):
+        store = BlockStore()
+        cid = cid_of(b"block")
+        store.put(cid.encode(), b"block")
+        assert store.get(cid.encode()) == b"block"
+
+    def test_has_handles_invalid_cid_gracefully(self):
+        assert not BlockStore().has("definitely-not-a-cid")
+
+
+class TestPinSet:
+    def test_pin_and_check(self):
+        pins = PinSet()
+        cid = cid_of(b"model")
+        pins.pin(cid)
+        assert pins.is_pinned(cid)
+        assert cid in pins
+        assert pins.pin_type(cid) == RECURSIVE
+
+    def test_direct_pin(self):
+        pins = PinSet()
+        cid = cid_of(b"model")
+        pins.pin(cid, recursive=False)
+        assert pins.pin_type(cid) == DIRECT
+        assert cid.encode() not in pins.recursive_pins()
+
+    def test_unpin(self):
+        pins = PinSet()
+        cid = cid_of(b"model")
+        pins.pin(cid)
+        pins.unpin(cid)
+        assert not pins.is_pinned(cid)
+
+    def test_unpin_missing_raises(self):
+        with pytest.raises(PinError):
+            PinSet().unpin(cid_of(b"missing"))
+
+    def test_pin_type_missing_raises(self):
+        with pytest.raises(PinError):
+            PinSet().pin_type(cid_of(b"missing"))
+
+    def test_len_counts_pins(self):
+        pins = PinSet()
+        pins.pin(cid_of(b"a"))
+        pins.pin(cid_of(b"b"))
+        assert len(pins) == 2

@@ -1,0 +1,71 @@
+"""Tests for repro.ipfs.chunker and repro.ipfs.dag."""
+
+import pytest
+
+from repro.ipfs.chunker import DEFAULT_CHUNK_SIZE, chunk_bytes, iter_chunks
+from repro.ipfs.dag import DagLink, DagNode, leaf_cid
+
+
+class TestChunker:
+    def test_default_chunk_size_is_256_kib(self):
+        assert DEFAULT_CHUNK_SIZE == 256 * 1024
+
+    def test_small_payload_single_chunk(self):
+        assert chunk_bytes(b"abc") == [b"abc"]
+
+    def test_exact_multiple_of_chunk_size(self):
+        payload = b"x" * 2048
+        chunks = chunk_bytes(payload, chunk_size=1024)
+        assert len(chunks) == 2
+        assert all(len(chunk) == 1024 for chunk in chunks)
+
+    def test_remainder_chunk(self):
+        chunks = chunk_bytes(b"x" * 2500, chunk_size=1024)
+        assert [len(c) for c in chunks] == [1024, 1024, 452]
+
+    def test_reassembly(self):
+        payload = bytes(range(256)) * 20
+        assert b"".join(chunk_bytes(payload, chunk_size=100)) == payload
+
+    def test_empty_payload_yields_single_empty_chunk(self):
+        assert chunk_bytes(b"") == [b""]
+
+    def test_paper_model_size_spans_two_chunks(self):
+        # 317 KB model -> 2 chunks of 256 KiB chunking.
+        assert len(chunk_bytes(b"\x01" * 317 * 1024)) == 2
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(b"abc", chunk_size=0))
+
+
+class TestDag:
+    def test_leaf_node_roundtrip(self):
+        node = DagNode(data=b"hello")
+        assert DagNode.deserialize(node.serialize()).data == b"hello"
+
+    def test_cid_changes_with_content(self):
+        assert DagNode(data=b"a").cid() != DagNode(data=b"b").cid()
+
+    def test_cid_changes_with_links(self):
+        link = DagLink(cid=leaf_cid(b"chunk").encode(), size=5)
+        assert DagNode(links=[link]).cid() != DagNode(links=[]).cid()
+
+    def test_total_size_sums_links_and_data(self):
+        links = [DagLink(cid=leaf_cid(b"aa").encode(), size=2),
+                 DagLink(cid=leaf_cid(b"bbb").encode(), size=3)]
+        node = DagNode(data=b"x", links=links)
+        assert node.total_size == 6
+
+    def test_is_leaf(self):
+        assert DagNode(data=b"x").is_leaf
+        assert not DagNode(links=[DagLink(cid=leaf_cid(b"a").encode(), size=1)]).is_leaf
+
+    def test_link_serialization_roundtrip(self):
+        link = DagLink(cid=leaf_cid(b"chunk").encode(), size=5, name="part-0")
+        node = DagNode(data=b"", links=[link])
+        restored = DagNode.deserialize(node.serialize())
+        assert restored.links == [link]
+
+    def test_leaf_cid_uses_raw_codec(self):
+        assert leaf_cid(b"chunk").codec_name == "raw"

@@ -1,0 +1,56 @@
+"""Tests for repro.system.artifacts (report persistence)."""
+
+import json
+
+import pytest
+
+from repro.system.artifacts import load_report, report_to_dict, save_report, summarize_report
+from repro.system.config import OFLW3Config
+
+
+class TestReportToDict:
+    def test_contains_every_section(self, quick_marketplace_report):
+        payload = report_to_dict(quick_marketplace_report)
+        expected_keys = {
+            "schema", "config", "owner_addresses", "local_accuracies_by_owner",
+            "aggregate_accuracy", "loo_drop_accuracies", "contributions",
+            "payments_wei", "gas", "owner_time", "buyer_time", "model_payload_bytes",
+        }
+        assert expected_keys <= set(payload)
+        assert payload["schema"].startswith("oflw3-marketplace-report")
+
+    def test_is_json_serializable(self, quick_marketplace_report):
+        payload = report_to_dict(quick_marketplace_report)
+        text = json.dumps(payload, default=str)
+        assert "aggregate_accuracy" in text
+
+
+class TestSaveAndLoad:
+    def test_roundtrip(self, quick_marketplace_report, tmp_path):
+        target = save_report(quick_marketplace_report, tmp_path / "report.json")
+        assert target.exists()
+        loaded = load_report(target)
+        assert loaded["aggregate_accuracy"] == pytest.approx(
+            quick_marketplace_report.aggregate_accuracy
+        )
+        assert isinstance(loaded["config"], OFLW3Config)
+        assert loaded["config"].num_owners == quick_marketplace_report.config.num_owners
+        assert loaded["payments_wei"] == {
+            k: int(v) for k, v in quick_marketplace_report.payments_wei.items()
+        }
+
+    def test_nested_directories_created(self, quick_marketplace_report, tmp_path):
+        target = save_report(quick_marketplace_report, tmp_path / "deep" / "dir" / "report.json")
+        assert target.exists()
+
+    def test_unknown_schema_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"schema": "something-else"}))
+        with pytest.raises(ValueError):
+            load_report(bogus)
+
+    def test_summarize_report(self, quick_marketplace_report, tmp_path):
+        target = save_report(quick_marketplace_report, tmp_path / "report.json")
+        summary = summarize_report(load_report(target))
+        assert "aggregate accuracy" in summary
+        assert "ETH" in summary

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.version import __version__
+
+
+class TestParser:
+    def test_subcommands_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "--preset", "quick", "--owners", "3"])
+        assert args.command == "run"
+        assert args.owners == 3
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_no_command_prints_help_and_fails(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestInfoCommand:
+    def test_info_lists_subsystems(self, capsys):
+        assert main(["info"]) == 0
+        output = capsys.readouterr().out
+        assert "chain" in output
+        assert "OFL-W3" in output
+
+
+class TestRunCommand:
+    def test_quick_run_and_save(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main([
+            "run", "--preset", "quick", "--owners", "2", "--epochs", "1",
+            "--seed", "31", "--save", str(report_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "aggregate accuracy" in output
+        assert report_path.exists()
+        payload = json.loads(report_path.read_text())
+        assert payload["config"]["num_owners"] == 2
+
+    def test_show_saved_report(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        main(["run", "--preset", "quick", "--owners", "2", "--epochs", "1",
+              "--seed", "32", "--save", str(report_path)])
+        capsys.readouterr()
+        assert main(["show", str(report_path)]) == 0
+        assert "aggregate accuracy" in capsys.readouterr().out
+
+
+class TestGasReportCommand:
+    def test_gas_report_prints_fee_table(self, capsys):
+        assert main(["gas-report", "--owners", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "deployment" in output
+        assert "cid_submission" in output
+        assert "ratio" in output
+
+
+class TestModelQualityCommand:
+    def test_model_quality_prints_series(self, capsys):
+        exit_code = main([
+            "model-quality", "--owners", "2", "--epochs", "1", "--samples", "400", "--seed", "5",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "aggregate (pfnm)" in output
+        assert "least useful owner" in output

@@ -1,0 +1,74 @@
+"""Package-level tests: version, exports and the exception hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPackage:
+    def test_version_exposed(self):
+        assert repro.__version__
+        assert repro.__version__.count(".") == 2
+
+    def test_subpackages_importable(self):
+        import repro.chain
+        import repro.contracts
+        import repro.data
+        import repro.fl
+        import repro.incentives
+        import repro.ipfs
+        import repro.ml
+        import repro.system
+        import repro.utils
+        import repro.web
+
+        assert repro.chain.EthereumNode
+        assert repro.contracts.CidStorage
+        assert repro.ipfs.IpfsNode
+        assert repro.ml.MLP
+        assert repro.fl.OneShotServer
+        assert repro.incentives.leave_one_out
+        assert repro.web.BuyerDApp
+        assert repro.system.run_marketplace
+
+
+class TestErrorHierarchy:
+    def test_every_domain_error_is_a_repro_error(self):
+        domain_errors = [
+            errors.ChainError,
+            errors.ContractError,
+            errors.IpfsError,
+            errors.MLError,
+            errors.FLError,
+            errors.IncentiveError,
+            errors.WebError,
+            errors.WorkflowError,
+            errors.ConfigError,
+        ]
+        for exc_type in domain_errors:
+            assert issubclass(exc_type, errors.ReproError)
+
+    def test_specific_errors_subclass_their_domain(self):
+        assert issubclass(errors.OutOfGasError, errors.ChainError)
+        assert issubclass(errors.NonceError, errors.InvalidTransactionError)
+        assert issubclass(errors.ContractRevert, errors.ContractError)
+        assert issubclass(errors.BlockNotFoundError, errors.IpfsError)
+        assert issubclass(errors.ShapeError, errors.MLError)
+        assert issubclass(errors.AggregationError, errors.FLError)
+        assert issubclass(errors.BudgetError, errors.IncentiveError)
+        assert issubclass(errors.WalletError, errors.WebError)
+
+    def test_contract_revert_carries_reason(self):
+        exc = errors.ContractRevert("Invalid CID index")
+        assert exc.reason == "Invalid CID index"
+        assert "Invalid CID index" in str(exc)
+
+    def test_contract_revert_default_reason(self):
+        assert "reverted" in str(errors.ContractRevert())
+
+    def test_catching_repro_error_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OutOfGasError("boom")
+        with pytest.raises(errors.ReproError):
+            raise errors.PartitionError("boom")

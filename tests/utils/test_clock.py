@@ -1,0 +1,66 @@
+"""Tests for repro.utils.clock."""
+
+import pytest
+
+from repro.utils.clock import SimulatedClock, Stopwatch
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now == 0.0
+
+    def test_custom_start_time(self):
+        assert SimulatedClock(start_time=100.0).now == 100.0
+
+    def test_advance_accumulates(self):
+        clock = SimulatedClock()
+        clock.advance(5)
+        clock.advance(2.5)
+        assert clock.now == 7.5
+
+    def test_advance_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedClock().advance(-1)
+
+    def test_advance_to_future(self):
+        clock = SimulatedClock()
+        clock.advance_to(42.0)
+        assert clock.now == 42.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimulatedClock(start_time=10)
+        clock.advance_to(5)
+        assert clock.now == 10
+
+    def test_sleep_is_alias_for_advance(self):
+        clock = SimulatedClock()
+        clock.sleep(3)
+        assert clock.now == 3
+
+
+class TestStopwatch:
+    def test_records_accumulate_per_label(self):
+        watch = Stopwatch()
+        watch.record("train", 10)
+        watch.record("train", 5)
+        watch.record("upload", 2)
+        assert watch.totals() == {"train": 15.0, "upload": 2.0}
+        assert watch.total == 17.0
+
+    def test_records_advance_the_clock(self):
+        clock = SimulatedClock()
+        watch = Stopwatch(clock)
+        watch.record("x", 4)
+        assert clock.now == 4
+
+    def test_measure_runs_function_and_records(self):
+        watch = Stopwatch()
+        result = watch.measure("compute", lambda: 41 + 1, seconds=1.5)
+        assert result == 42
+        assert watch.totals()["compute"] == 1.5
+
+    def test_records_property_preserves_order(self):
+        watch = Stopwatch()
+        watch.record("a", 1)
+        watch.record("b", 2)
+        assert [label for label, _ in watch.records] == ["a", "b"]

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.encoding."""
+
+import pytest
+
+from repro.utils.encoding import (
+    b32_decode,
+    b32_encode,
+    b58_decode,
+    b58_encode,
+    from_hex,
+    to_hex,
+)
+
+
+class TestHex:
+    def test_roundtrip(self):
+        assert from_hex(to_hex(b"\x00\x01\xff")) == b"\x00\x01\xff"
+
+    def test_prefix_present_by_default(self):
+        assert to_hex(b"\xab").startswith("0x")
+
+    def test_prefix_can_be_omitted(self):
+        assert to_hex(b"\xab", prefix=False) == "ab"
+
+    def test_from_hex_accepts_unprefixed(self):
+        assert from_hex("abcd") == b"\xab\xcd"
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            from_hex("0xabc")
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            from_hex("0xzz")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            from_hex(123)
+
+
+class TestBase58:
+    def test_roundtrip(self):
+        payload = bytes(range(32))
+        assert b58_decode(b58_encode(payload)) == payload
+
+    def test_leading_zeros_preserved(self):
+        payload = b"\x00\x00\x01\x02"
+        assert b58_decode(b58_encode(payload)) == payload
+
+    def test_known_alphabet_excludes_ambiguous_characters(self):
+        encoded = b58_encode(bytes(range(1, 200, 7)))
+        for forbidden in "0OIl":
+            assert forbidden not in encoded
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError):
+            b58_decode("0invalid")
+
+    def test_empty_payload(self):
+        assert b58_decode(b58_encode(b"")) == b""
+
+
+class TestBase32:
+    def test_roundtrip(self):
+        payload = bytes(range(64))
+        assert b32_decode(b32_encode(payload)) == payload
+
+    def test_lowercase_output(self):
+        encoded = b32_encode(b"hello world")
+        assert encoded == encoded.lower()
+
+    def test_decode_is_case_insensitive(self):
+        encoded = b32_encode(b"data")
+        assert b32_decode(encoded.upper()) == b"data"
+
+    def test_invalid_character_rejected(self):
+        with pytest.raises(ValueError):
+            b32_decode("abc!def")
+
+    def test_single_byte_roundtrip(self):
+        for value in (b"\x00", b"\xff", b"\x7f"):
+            assert b32_decode(b32_encode(value)) == value

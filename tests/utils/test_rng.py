@@ -1,0 +1,38 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+
+from repro.utils.rng import derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "layer-0") == derive_seed(7, "layer-0")
+
+    def test_label_changes_seed(self):
+        assert derive_seed(7, "layer-0") != derive_seed(7, "layer-1")
+
+    def test_base_seed_changes_seed(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_result_fits_32_bits(self):
+        assert 0 <= derive_seed(123456, "anything") < 2**32
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(5).random(4)
+        b = make_rng(5).random(4)
+        assert np.allclose(a, b)
+
+    def test_label_derives_independent_stream(self):
+        a = make_rng(5, "a").random(4)
+        b = make_rng(5, "b").random(4)
+        assert not np.allclose(a, b)
+
+    def test_existing_generator_passed_through(self):
+        generator = np.random.default_rng(0)
+        assert make_rng(generator) is generator
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
