@@ -23,6 +23,8 @@ class Mempool:
         self._pending: Dict[str, Transaction] = {}
         self._arrival: Dict[str, int] = {}
         self._counter = 0
+        self.max_depth = 0
+        self.total_added = 0
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -49,6 +51,8 @@ class Mempool:
         self._pending[tx_hash] = tx
         self._arrival[tx_hash] = self._counter
         self._counter += 1
+        self.total_added += 1
+        self.max_depth = max(self.max_depth, len(self._pending))
         return tx_hash
 
     def remove(self, tx_hash: str) -> Optional[Transaction]:
@@ -101,6 +105,14 @@ class Mempool:
                 next_nonce[sender_key] = expected + 1
                 progressed = True
         return selected
+
+    def stats(self) -> Dict[str, int]:
+        """Depth counters a scenario report samples: current, high-water, total."""
+        return {
+            "depth": len(self._pending),
+            "max_depth": self.max_depth,
+            "total_added": self.total_added,
+        }
 
     def prune_stale(self, state: WorldState) -> int:
         """Evict transactions whose nonce is already below the account nonce."""

@@ -11,9 +11,12 @@ same "submit, then wait ~12 s" rhythm as against Sepolia.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
+from typing import Any, List, Optional, TYPE_CHECKING
 
-from repro.errors import UnknownTransactionError
+from repro.errors import MempoolError, UnknownTransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.simnet.netmodel import NetworkModel
 from repro.chain.account import Address
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain, ChainConfig
@@ -34,9 +37,16 @@ class EthereumNode:
         backend: Optional[ContractBackend] = None,
         clock: Optional[SimulatedClock] = None,
         validators: Optional[List[Address]] = None,
+        network: Optional["NetworkModel"] = None,
     ) -> None:
         self.clock = clock or SimulatedClock()
         self.chain = Blockchain(config=config, backend=backend, clock=self.clock, validators=validators)
+        #: Optional ``repro.simnet`` network model governing the client->node
+        #: RPC link: submissions pay per-message latency (and retransmission
+        #: timeouts for drops) on the simulated clock.  ``None`` (the seed
+        #: default) keeps submission instantaneous.
+        self.network = network
+        self.dropped_submissions = 0
 
     # -- chain metadata ------------------------------------------------------
 
@@ -71,7 +81,27 @@ class EthereumNode:
     # -- transaction lifecycle -----------------------------------------------
 
     def send_transaction(self, tx: Transaction) -> str:
-        """Queue a signed transaction; returns the transaction hash."""
+        """Queue a signed transaction; returns the transaction hash.
+
+        With a network model attached, submission traverses the sender->node
+        RPC link: the clock advances by the link's delivery delay (including
+        retransmission timeouts for dropped messages).  A submission lost
+        after every retransmission raises :class:`MempoolError`, like an RPC
+        endpoint that times out.
+        """
+        if self.network is not None:
+            from repro.simnet.netmodel import CHAIN_ENDPOINT
+
+            wire_bytes = 110 + len(tx.data)  # envelope + signature + calldata
+            delivery = self.network.delivery_delay(str(tx.sender), CHAIN_ENDPOINT, wire_bytes)
+            # The sender waited out every retransmission timeout even when
+            # the submission was ultimately lost.
+            self.clock.advance(delivery.delay_seconds)
+            if not delivery.delivered:
+                self.dropped_submissions += 1
+                raise MempoolError(
+                    f"transaction from {tx.sender} lost in transit to the RPC node "
+                    f"(network partition or repeated drops)")
         return self.chain.submit_transaction(tx)
 
     def sign_and_send(

@@ -5,6 +5,11 @@ Subcommands
 ``run``
     Run the end-to-end marketplace (quick or paper preset, overridable) and
     print the headline results; optionally save the full report to JSON.
+``simulate``
+    Run a named discrete-event scenario (``repro.simnet``): concurrent
+    tasks, adversarial owner populations, lossy networks -- and print the
+    scenario report (throughput, mempool depth, gas, accuracy vs adversary
+    fraction).
 ``gas-report``
     Replay only the on-chain side of the workflow and print the Fig. 5 fee
     table plus the CID-vs-model storage comparison.
@@ -47,6 +52,43 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="override the random seed")
     run_parser.add_argument("--save", default=None, metavar="PATH",
                             help="save the full report to a JSON file")
+
+    # Choices come from the simnet registries, so new scenarios/profiles are
+    # CLI-reachable without touching this file.  scenario.py is import-light;
+    # profiles.py pulls numpy, which every subcommand needs anyway.
+    from repro.simnet.profiles import NETWORK_PROFILES
+    from repro.simnet.scenario import SCENARIOS
+
+    sim_parser = subparsers.add_parser(
+        "simulate", help="run a discrete-event scenario (simnet)")
+    sim_parser.add_argument("--scenario", default="ideal",
+                            choices=sorted(SCENARIOS),
+                            help="named scenario (default: ideal)")
+    sim_parser.add_argument("--preset", choices=["quick", "paper"], default="quick",
+                            help="marketplace scale per task (default: quick)")
+    sim_parser.add_argument("--tasks", type=int, default=None,
+                            help="override the number of concurrent tasks")
+    sim_parser.add_argument("--owners", type=int, default=None,
+                            help="override the owner count per task")
+    sim_parser.add_argument("--epochs", type=int, default=None,
+                            help="override local epochs per owner")
+    sim_parser.add_argument("--seed", type=int, default=None,
+                            help="override the random seed")
+    sim_parser.add_argument("--stagger", type=float, default=None, metavar="SECONDS",
+                            help="override the delay between task launches")
+    sim_parser.add_argument("--network", default=None,
+                            choices=sorted(NETWORK_PROFILES),
+                            help="override the network profile")
+    sim_parser.add_argument("--poison-fraction", type=float, default=None,
+                            help="fraction of owners that label-flip poison")
+    sim_parser.add_argument("--dropout-fraction", type=float, default=None,
+                            help="fraction of owners that churn out mid-task")
+    sim_parser.add_argument("--straggler-fraction", type=float, default=None,
+                            help="fraction of owners that upload late")
+    sim_parser.add_argument("--freerider-fraction", type=float, default=None,
+                            help="fraction of owners that upload junk models")
+    sim_parser.add_argument("--save", default=None, metavar="PATH",
+                            help="save the scenario report to a JSON file")
 
     gas_parser = subparsers.add_parser("gas-report", help="print the Fig. 5 gas-fee analysis")
     gas_parser.add_argument("--owners", type=int, default=10)
@@ -99,6 +141,72 @@ def _command_run(args: argparse.Namespace) -> int:
         target = save_report(report, args.save)
         print(f"full report saved to {target}")
     return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    """Implement the ``simulate`` subcommand."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.simnet import ScenarioRunner, build_scenario
+    from repro.system import paper_config, quick_config
+
+    config_overrides = {}
+    if args.owners is not None:
+        config_overrides["num_owners"] = args.owners
+    if args.epochs is not None:
+        config_overrides["local_epochs"] = args.epochs
+    if args.seed is not None:
+        config_overrides["seed"] = args.seed
+    config = (paper_config(**config_overrides) if args.preset == "paper"
+              else quick_config(**config_overrides))
+
+    spec_overrides = {}
+    if args.tasks is not None:
+        spec_overrides["num_tasks"] = args.tasks
+    if args.stagger is not None:
+        spec_overrides["task_stagger_seconds"] = args.stagger
+    if args.network is not None:
+        spec_overrides["network_profile"] = args.network
+    fraction_flags = {
+        "poisoner": args.poison_fraction,
+        "dropout": args.dropout_fraction,
+        "straggler": args.straggler_fraction,
+        "free_rider": args.freerider_fraction,
+    }
+    if any(value is not None for value in fraction_flags.values()):
+        spec = build_scenario(args.scenario)
+        fractions = dict(spec.behavior_fractions)
+        for archetype, value in fraction_flags.items():
+            if value is not None:
+                if value > 0:
+                    fractions[archetype] = value
+                else:
+                    fractions.pop(archetype, None)
+        spec_overrides["behavior_fractions"] = fractions
+
+    try:
+        spec = build_scenario(args.scenario, **spec_overrides)
+        print(f"simulating scenario {spec.name!r}: {spec.description}")
+        print(f"  {spec.num_tasks} task(s) x {config.num_owners} owners, "
+              f"network={spec.network_profile}, "
+              f"submissions={'async' if spec.async_submissions else 'sync'}, "
+              f"seed={config.seed}")
+        runner = ScenarioRunner(spec, config=config)
+        report = runner.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(report.summary())
+    if args.save:
+        from pathlib import Path
+
+        target = Path(args.save)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        print(f"\nscenario report saved to {target}")
+    return 0 if report.tasks_failed == 0 else 3
 
 
 def _run_gas_report(owners: int, gas_price_gwei: float) -> int:
@@ -200,7 +308,7 @@ def _command_show(path: str) -> int:
 def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
-    print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, system")
+    print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, system, simnet")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp")
     print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
     return 0
@@ -215,6 +323,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if args.command == "run":
         return _command_run(args)
+    if args.command == "simulate":
+        return _command_simulate(args)
     if args.command == "gas-report":
         return _run_gas_report(args.owners, args.gas_price_gwei)
     if args.command == "model-quality":

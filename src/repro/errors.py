@@ -189,3 +189,16 @@ class WorkflowError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment configuration is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Discrete-event simulation (repro.simnet)
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """A scenario simulation could not be built or executed."""
+
+
+class SchedulerError(SimulationError):
+    """An event-scheduler misuse (negative delay, runaway process, deadlock)."""

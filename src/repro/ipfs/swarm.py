@@ -5,18 +5,26 @@ does not hold locally, it asks its connected peers (in connection order) and
 copies the first verified response into its own store.  The swarm also keeps
 simple transfer statistics so experiments can report how many bytes moved
 between owners and the buyer.
+
+A swarm can optionally carry a network model (``repro.simnet.netmodel``) and
+a simulated clock: block exchange then skips unreachable (partitioned)
+providers, pays retransmission timeouts for dropped messages, and advances
+the clock by each link's transfer time.  Without a network model (the seed
+default) the swarm is the original ideal zero-cost LAN.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from typing import Dict, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
 
 from repro.errors import BlockNotFoundError
 from repro.ipfs.cid import CID
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.ipfs.node import IpfsNode
+    from repro.simnet.netmodel import NetworkModel
+    from repro.utils.clock import SimulatedClock
 
 
 @dataclass
@@ -30,10 +38,14 @@ class TransferStats:
 class Swarm:
     """A set of interconnected IPFS nodes."""
 
-    def __init__(self) -> None:
+    def __init__(self, network: Optional["NetworkModel"] = None,
+                 clock: Optional["SimulatedClock"] = None) -> None:
         self._nodes: Dict[str, "IpfsNode"] = {}
         self._connections: Dict[str, Set[str]] = {}
         self._transfers: Dict[tuple, TransferStats] = {}
+        self.network = network
+        self.clock = clock
+        self.failed_fetch_attempts = 0
 
     # -- membership -----------------------------------------------------------
 
@@ -90,12 +102,23 @@ class Swarm:
         cid_obj = cid if isinstance(cid, CID) else CID.parse(cid)
         for peer_id in self.peers_of(requester):
             provider = self._nodes[peer_id]
-            if provider.blockstore.has(cid_obj):
-                block = provider.blockstore.get(cid_obj)
-                stats = self._transfers.setdefault((peer_id, requester.peer_id), TransferStats())
-                stats.blocks += 1
-                stats.bytes += len(block)
-                return block
+            if not provider.blockstore.has(cid_obj):
+                continue
+            block = provider.blockstore.get(cid_obj)
+            if self.network is not None:
+                delivery = self.network.delivery_delay(peer_id, requester.peer_id, len(block))
+                if self.clock is not None:
+                    # Time spent is charged whether or not the block arrived:
+                    # a failed exchange still burned its retransmission
+                    # timeouts before bitswap moves on to the next provider.
+                    self.clock.advance(delivery.delay_seconds)
+                if not delivery.delivered:
+                    self.failed_fetch_attempts += 1
+                    continue
+            stats = self._transfers.setdefault((peer_id, requester.peer_id), TransferStats())
+            stats.blocks += 1
+            stats.bytes += len(block)
+            return block
         raise BlockNotFoundError(
             f"no connected peer of {requester.peer_id} provides {cid_obj.encode()}"
         )
@@ -106,6 +129,38 @@ class Swarm:
         return [
             peer_id for peer_id, node in self._nodes.items() if node.blockstore.has(cid_obj)
         ]
+
+    # -- network dynamics -------------------------------------------------------
+
+    def partition(self, groups: Sequence[Iterable["IpfsNode | str"]]) -> None:
+        """Partition the swarm: nodes in different groups stop exchanging blocks.
+
+        Groups may mix :class:`IpfsNode` instances, node names and raw peer
+        ids.  Requires a network model (the seed's ideal swarm has no notion
+        of reachability).
+        """
+        if self.network is None:
+            raise ValueError("partition requires a swarm built with a network model")
+        self.network.partition([
+            [self._resolve_peer_id(member) for member in group] for group in groups
+        ])
+
+    def heal(self) -> None:
+        """Heal a partition created with :meth:`partition`."""
+        if self.network is None:
+            raise ValueError("heal requires a swarm built with a network model")
+        self.network.heal()
+
+    def _resolve_peer_id(self, node_or_id: "IpfsNode | str") -> str:
+        """Accept a node object, node name or peer id; return the peer id."""
+        if not isinstance(node_or_id, str):
+            return node_or_id.peer_id
+        if node_or_id in self._nodes:
+            return node_or_id
+        for node in self._nodes.values():
+            if node.name == node_or_id:
+                return node.peer_id
+        raise KeyError(f"unknown swarm member {node_or_id!r}")
 
     # -- statistics -----------------------------------------------------------------
 

@@ -1,0 +1,70 @@
+"""``repro.simnet``: a discrete-event marketplace simulator.
+
+The seed reproduction runs one happy-path marketplace: one buyer, N honest
+owners, a zero-latency fully-meshed IPFS swarm and a single FL task.  This
+subsystem turns that demo into a load/fault laboratory:
+
+* :mod:`repro.simnet.events` -- a deterministic event scheduler layered on
+  :class:`~repro.utils.clock.SimulatedClock`, with generator-based processes
+  that wait by *yielding* instead of advancing the clock in lock step;
+* :mod:`repro.simnet.netmodel` / :mod:`repro.simnet.profiles` -- per-link
+  latency/bandwidth/jitter/drop network models with partition and heal,
+  pluggable into the IPFS :class:`~repro.ipfs.swarm.Swarm` and the chain
+  node's transaction ingress;
+* :mod:`repro.simnet.behaviors` -- a library of owner archetypes (honest,
+  straggler, dropout/churner, free-rider, label-flipping poisoner) pluggable
+  into :class:`~repro.system.roles.ModelOwner`;
+* :mod:`repro.simnet.scenario` / :mod:`repro.simnet.runner` -- named
+  scenarios ("ideal", "adversarial", "concurrent", "lossy", "churn",
+  "stress") executed as many concurrent OFL-W3 tasks against one shared
+  chain node and mempool;
+* :mod:`repro.simnet.report` -- the per-scenario report (task throughput,
+  mempool depth over time, gas spent, accuracy vs adversary fraction).
+
+Under the default "ideal" scenario (one task, all honest, no network model)
+the runner reproduces the seed's Fig. 4-7 numbers exactly.
+"""
+
+from repro.simnet.behaviors import (
+    BEHAVIOR_ARCHETYPES,
+    DropoutBehavior,
+    FreeRiderBehavior,
+    HonestBehavior,
+    LabelFlipPoisonerBehavior,
+    OwnerBehavior,
+    StragglerBehavior,
+    assign_behaviors,
+    make_behavior,
+)
+from repro.simnet.events import EventScheduler, ScheduledEvent, SimProcess
+from repro.simnet.netmodel import LinkProfile, NetworkModel
+from repro.simnet.profiles import NETWORK_PROFILES, make_network
+from repro.simnet.report import ScenarioReport, TaskOutcome
+from repro.simnet.runner import ScenarioRunner, run_scenario
+from repro.simnet.scenario import SCENARIOS, ScenarioSpec, build_scenario
+
+__all__ = [
+    "BEHAVIOR_ARCHETYPES",
+    "DropoutBehavior",
+    "EventScheduler",
+    "FreeRiderBehavior",
+    "HonestBehavior",
+    "LabelFlipPoisonerBehavior",
+    "LinkProfile",
+    "NETWORK_PROFILES",
+    "NetworkModel",
+    "OwnerBehavior",
+    "SCENARIOS",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "ScheduledEvent",
+    "SimProcess",
+    "StragglerBehavior",
+    "TaskOutcome",
+    "assign_behaviors",
+    "build_scenario",
+    "make_behavior",
+    "make_network",
+    "run_scenario",
+]

@@ -1,0 +1,377 @@
+"""The scenario runner: many concurrent OFL-W3 tasks on one shared chain.
+
+Architecture
+------------
+One :class:`~repro.utils.clock.SimulatedClock` is shared by everything: the
+chain node (block production), the IPFS swarm (when a network model is
+attached), and the :class:`~repro.simnet.events.EventScheduler` that drives
+every task as a generator *process*.  Each task walks the seven-step OFL-W3
+workflow phase by phase, yielding control between phases so the scheduler
+can interleave tasks deterministically; legacy blocking calls (``submit and
+wait for inclusion``) still advance the shared clock inline, which the
+scheduler tolerates by never moving time backwards.
+
+Exactness guarantee
+-------------------
+Under a seed-exact spec (one task, all honest, ideal network, synchronous
+submissions -- the "ideal" scenario) the runner builds the *identical*
+environment :func:`repro.system.orchestrator.build_environment` would build
+and issues the identical call sequence, so the resulting
+:class:`~repro.system.orchestrator.MarketplaceReport` -- and with it every
+Fig. 4-7 number -- matches a plain ``run_marketplace`` bit for bit.
+
+Concurrency
+-----------
+With ``async_submissions`` enabled, owners broadcast their CID transactions
+fire-and-forget and poll for inclusion while a dedicated block-producer
+process mines on the slot cadence; transactions from many tasks genuinely
+queue in the one shared mempool, which is where the mempool-depth series and
+fee-priority contention come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple, Union
+
+from repro.chain.chain import ChainConfig
+from repro.chain.explorer import Explorer
+from repro.chain.faucet import Faucet
+from repro.chain.node import EthereumNode
+from repro.contracts.registry import default_registry
+from repro.errors import ReproError, SimulationError
+from repro.ipfs.swarm import Swarm
+from repro.simnet.behaviors import (
+    OwnerBehavior,
+    adversary_fraction,
+    archetype_counts,
+    assign_behaviors,
+)
+from repro.simnet.events import EventScheduler, SimProcess
+from repro.simnet.profiles import make_network
+from repro.simnet.report import ScenarioReport, TaskOutcome
+from repro.simnet.scenario import ScenarioSpec, build_scenario
+from repro.system.config import OFLW3Config, quick_config
+from repro.system.orchestrator import (
+    MarketplaceEnvironment,
+    MarketplaceReport,
+    build_environment,
+    build_marketplace_report,
+    default_task_spec,
+)
+from repro.system.roles import ModelOwner
+from repro.utils.clock import SimulatedClock
+from repro.utils.rng import derive_seed
+from repro.web.wallet import WalletActivity
+
+#: How often an async submitter polls for its receipt (half a Sepolia slot).
+RECEIPT_POLL_SECONDS = 6.0
+
+
+@dataclass
+class _TaskRuntime:
+    """Live state of one task inside a scenario run."""
+
+    index: int
+    config: OFLW3Config
+    env: MarketplaceEnvironment
+    behaviors: List[Optional[OwnerBehavior]]
+    outcome: TaskOutcome
+    process: Optional[SimProcess] = None
+    report: Optional[MarketplaceReport] = None
+
+
+class ScenarioRunner:
+    """Executes one :class:`ScenarioSpec` and produces a :class:`ScenarioReport`."""
+
+    def __init__(
+        self,
+        scenario: Union[ScenarioSpec, str],
+        config: Optional[OFLW3Config] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.spec = build_scenario(scenario) if isinstance(scenario, str) else scenario
+        base = config or quick_config()
+        if seed is not None:
+            base = base.with_overrides(seed=seed)
+        self.base_config = base
+        self.seed = base.seed
+
+        # Shared infrastructure -------------------------------------------------
+        self.clock = SimulatedClock()
+        self.scheduler = EventScheduler(self.clock)
+        self.chain_network = make_network(
+            self.spec.network_profile, seed=derive_seed(self.seed, "chain-net"))
+        self.ipfs_network = make_network(
+            self.spec.network_profile, seed=derive_seed(self.seed, "ipfs-net"))
+        self.node = EthereumNode(
+            config=ChainConfig(), backend=default_registry(),
+            clock=self.clock, network=self.chain_network)
+        self.faucet = Faucet(self.node)
+        self.swarm = Swarm(network=self.ipfs_network, clock=self.clock)
+
+        self.tasks: List[_TaskRuntime] = []
+        self._active_tasks = 0
+        self._mempool_series: List[Tuple[float, int]] = []
+
+    # -- construction -----------------------------------------------------------
+
+    def _task_config(self, index: int) -> OFLW3Config:
+        """Task 0 keeps the base seed (exactness); later tasks derive theirs."""
+        if index == 0:
+            return self.base_config
+        return self.base_config.with_overrides(
+            seed=derive_seed(self.base_config.seed, f"task-{index}"))
+
+    def _build_task(self, index: int) -> _TaskRuntime:
+        config = self._task_config(index)
+        behaviors = assign_behaviors(
+            config.num_owners,
+            self.spec.behavior_fractions,
+            seed=derive_seed(config.seed, "behaviors"),
+            behavior_kwargs=self.spec.behavior_kwargs,
+        )
+        label_prefix = "" if index == 0 else f"t{index}-"
+        env = build_environment(
+            config,
+            node=self.node,
+            faucet=self.faucet,
+            swarm=self.swarm,
+            label_prefix=label_prefix,
+            behaviors=behaviors,
+        )
+        outcome = TaskOutcome(
+            index=index,
+            label=f"task-{index}",
+            adversary_fraction=adversary_fraction(behaviors),
+            archetype_counts=archetype_counts(behaviors),
+            num_owners=config.num_owners,
+        )
+        return _TaskRuntime(index=index, config=config, env=env,
+                            behaviors=behaviors, outcome=outcome)
+
+    # -- processes --------------------------------------------------------------
+
+    def _task_process(self, task: _TaskRuntime) -> Generator:
+        """One task's journey through Steps 1-7, yielding between phases."""
+        outcome = task.outcome
+        workflow = task.env.workflow
+        config = task.config
+        outcome.started_at = self.clock.now
+        outcome.status = "running"
+        try:
+            workflow.step1_deploy(default_task_spec(config), config.budget_wei)
+        except ReproError as error:
+            self._fail(task, f"deployment failed: {error}")
+            return
+        outcome.task_address = workflow.result.task_address
+        yield 0.0
+
+        for owner in task.env.owners:
+            try:
+                submitted = yield from self._owner_process(task, owner)
+            except ReproError as error:
+                # A lost submission / network failure silences this owner;
+                # the task carries on with whoever did submit.
+                workflow.record_owner_result(
+                    owner.dropped_result("error", error=str(error)))
+                submitted = False
+            if submitted:
+                outcome.num_submissions += 1
+            yield 0.0
+
+        try:
+            listing = workflow.step5_download_cids()
+            if not listing.get("cids"):
+                self._fail(task, "no CIDs were submitted (every owner churned out)")
+                return
+            yield 0.0
+            workflow.step6_retrieve_models()
+            yield 0.0
+            workflow.step7_aggregate_and_pay(
+                incentive_method=config.incentive_method,
+                reserve_fraction=config.reserve_fraction,
+                min_payment_wei=config.min_payment_wei,
+            )
+        except ReproError as error:
+            self._fail(task, f"buyer-side failure: {error}")
+            return
+
+        task.report = build_marketplace_report(task.env, workflow.result)
+        outcome.status = "completed"
+        outcome.finished_at = self.clock.now
+        outcome.aggregate_accuracy = task.report.aggregate_accuracy
+        local = task.report.local_accuracies_by_owner
+        if local:
+            outcome.mean_local_accuracy = sum(local.values()) / len(local)
+        outcome.total_paid_wei = task.report.total_paid_wei
+        self._active_tasks -= 1
+
+    def _owner_process(self, task: _TaskRuntime, owner: ModelOwner) -> Generator:
+        """One owner's Steps 2-4, phase by phase; returns True if a CID landed."""
+        workflow = task.env.workflow
+        task_address = workflow.result.task_address
+        submit = None
+        if self.spec.async_submissions:
+            submit = lambda: self._submit_cid_async(owner, task_address)  # noqa: E731
+        result, submitted = yield from owner.iter_flow(task_address, submit=submit)
+        workflow.record_owner_result(result)
+        return submitted
+
+    def _submit_cid_async(self, owner: ModelOwner, task_address: str) -> Generator:
+        """Fire-and-forget CID broadcast; poll for inclusion instead of blocking.
+
+        This is what lets transactions from many concurrent tasks pile up in
+        the shared mempool: the owner keeps only a lightweight poller while
+        the block-producer process drains the queue on the slot cadence.
+        """
+        session = owner.dapp.session
+        if session.cid is None:
+            raise SimulationError(f"owner {owner.name} has no CID to submit")
+        started = self.clock.now
+        tx_hash = self.node.transact_contract(
+            owner.wallet.keypair, task_address, "uploadCid", [session.cid],
+            gas_price=owner.wallet.gas_price_wei,
+        )
+        activity = WalletActivity(description="Submit model CID",
+                                  transaction_hash=tx_hash)
+        owner.wallet.activity.append(activity)
+        while not self.node.chain.has_receipt(tx_hash):
+            yield RECEIPT_POLL_SECONDS
+        receipt = self.node.chain.get_receipt(tx_hash)
+        # Keep the MetaMask activity log and per-wallet fee accounting
+        # identical to the synchronous submit_cid path.
+        activity.receipt = receipt
+        owner.breakdown.add(
+            "send_cid",
+            (self.clock.now - started) + owner.latency.metamask_confirmation_seconds,
+        )
+        session.cid_index = receipt.return_value
+        return {
+            "status": receipt.status,
+            "cid": session.cid,
+            "cid_index": receipt.return_value,
+            "transaction_hash": receipt.transaction_hash,
+            "async": True,
+        }
+
+    def _block_producer(self) -> Generator:
+        """Mine on the slot cadence while any task is still active."""
+        slot = self.node.chain.config.slot_seconds
+        while self._active_tasks > 0:
+            if len(self.node.chain.mempool) > 0:
+                self.node.chain.produce_block()
+                yield 0.0
+            else:
+                yield slot
+
+    def _fail(self, task: _TaskRuntime, reason: str) -> None:
+        task.outcome.status = "failed"
+        task.outcome.failure = reason
+        task.outcome.finished_at = self.clock.now
+        self._active_tasks -= 1
+
+    # -- metrics ----------------------------------------------------------------
+
+    def _sample_mempool(self, _old: float, now: float) -> None:
+        """Clock observer: record the mempool depth whenever time moves."""
+        depth = len(self.node.chain.mempool)
+        if not self._mempool_series or self._mempool_series[-1][1] != depth:
+            self._mempool_series.append((now, depth))
+
+    def _gas_by_task(self) -> Dict[int, int]:
+        """Total fees per task, attributed by transaction sender."""
+        sender_to_task: Dict[str, int] = {}
+        for task in self.tasks:
+            sender_to_task[task.env.buyer.address.lower()] = task.index
+            for owner in task.env.owners:
+                sender_to_task[owner.address.lower()] = task.index
+        totals: Dict[int, int] = {task.index: 0 for task in self.tasks}
+        for record in Explorer(self.node.chain).all_records():
+            task_index = sender_to_task.get(str(record.transaction.sender).lower())
+            if task_index is not None:
+                totals[task_index] += record.fee_wei
+        return totals
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, max_events: int = 1_000_000) -> ScenarioReport:
+        """Build every task, drive the scenario to completion, report."""
+        if self.tasks:
+            raise SimulationError("a ScenarioRunner instance runs exactly once")
+        for index in range(self.spec.num_tasks):
+            self.tasks.append(self._build_task(index))
+        self._active_tasks = len(self.tasks)
+        self.clock.subscribe(self._sample_mempool)
+        try:
+            for task in self.tasks:
+                task.process = self.scheduler.spawn(
+                    self._task_process(task),
+                    delay=task.index * self.spec.task_stagger_seconds,
+                    name=task.outcome.label,
+                )
+            if self.spec.async_submissions:
+                self.scheduler.spawn(self._block_producer(), name="block-producer")
+            self.scheduler.run(max_events=max_events)
+        finally:
+            self.clock.unsubscribe(self._sample_mempool)
+
+        return self._build_report()
+
+    def _build_report(self) -> ScenarioReport:
+        from repro.system.costs import build_gas_cost_report
+
+        gas_report = build_gas_cost_report(self.node.chain)
+        gas_by_task = self._gas_by_task()
+        for task in self.tasks:
+            task.outcome.gas_fee_wei = gas_by_task.get(task.index, 0)
+
+        mempool_stats = self.node.chain.mempool.stats()
+        network_stats = None
+        if self.chain_network is not None or self.ipfs_network is not None:
+            network_stats = {"messages": 0, "dropped": 0, "bytes_moved": 0,
+                             "delay_seconds": 0.0, "retransmissions": 0}
+            for model in (self.chain_network, self.ipfs_network):
+                if model is None:
+                    continue
+                for key, value in model.stats.to_dict().items():
+                    network_stats[key] = round(network_stats[key] + value, 3)
+
+        return ScenarioReport(
+            scenario=self.spec.to_dict(),
+            seed=self.seed,
+            tasks=[task.outcome for task in self.tasks],
+            makespan_seconds=self.clock.now,
+            events_executed=self.scheduler.events_executed,
+            mempool_depth_series=list(self._mempool_series),
+            mempool_max_depth=mempool_stats["max_depth"],
+            mempool_total_transactions=mempool_stats["total_added"],
+            blocks_produced=self.node.block_number,
+            gas_by_category=gas_report.to_dict(),
+            total_gas_fee_wei=sum(
+                int(row.total_fee_wei) for row in gas_report.rows.values()),
+            ipfs_bytes_transferred=self.swarm.total_bytes_transferred(),
+            network_stats=network_stats,
+            dropped_submissions=self.node.dropped_submissions,
+            failed_fetch_attempts=self.swarm.failed_fetch_attempts,
+        )
+
+    # -- results access ----------------------------------------------------------
+
+    @property
+    def marketplace_reports(self) -> List[Optional[MarketplaceReport]]:
+        """Per-task :class:`MarketplaceReport` (None for failed tasks)."""
+        return [task.report for task in self.tasks]
+
+
+def run_scenario(
+    scenario: Union[ScenarioSpec, str],
+    config: Optional[OFLW3Config] = None,
+    seed: Optional[int] = None,
+    **spec_overrides,
+) -> ScenarioReport:
+    """One-call convenience: build a runner, apply overrides, run, report."""
+    spec = build_scenario(scenario) if isinstance(scenario, str) else scenario
+    if spec_overrides:
+        spec = spec.with_overrides(**spec_overrides)
+    return ScenarioRunner(spec, config=config, seed=seed).run()

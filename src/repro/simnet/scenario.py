@@ -1,0 +1,139 @@
+"""Named simulation scenarios.
+
+A :class:`ScenarioSpec` is a declarative description of one experiment: how
+many concurrent OFL-W3 tasks run against the shared chain, how the owner
+population misbehaves, what the network looks like, and whether CID
+submissions go through the synchronous MetaMask flow (submit, then block on
+inclusion) or the asynchronous fire-and-forget flow (broadcast, keep working,
+poll for the receipt) that lets transactions from many tasks pile up in the
+shared mempool.
+
+The registry ships the scenarios the CLI exposes:
+
+========== ==================================================================
+ideal      the seed's world: one task, all honest, no network model --
+           reproduces Fig. 4-7 exactly
+adversarial one task with a configurable fraction of label-flipping
+           poisoners (plus optional free-riders)
+concurrent N tasks (default 5) with staggered starts sharing one chain node
+           and mempool, asynchronous submissions
+lossy      one task on a congested WAN (latency, jitter, 15% drops)
+churn      one task with dropouts and stragglers
+stress     everything at once: concurrent tasks, lossy WAN, poisoners,
+           dropouts, stragglers
+========== ==================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of one simulation scenario."""
+
+    name: str
+    description: str
+
+    num_tasks: int = 1
+    """Concurrent OFL-W3 tasks sharing one chain node and mempool."""
+
+    task_stagger_seconds: float = 30.0
+    """Simulated delay between consecutive task launches."""
+
+    behavior_fractions: Dict[str, float] = field(default_factory=dict)
+    """Archetype name -> fraction of each task's owners (rest honest)."""
+
+    behavior_kwargs: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    """Constructor kwargs per archetype (e.g. straggler mean delay)."""
+
+    network_profile: str = "ideal"
+    """Key into :data:`repro.simnet.profiles.NETWORK_PROFILES`."""
+
+    async_submissions: bool = False
+    """Fire-and-forget CID submissions + a periodic block-producer process
+    (lets the shared mempool actually queue up); the synchronous default is
+    the seed's submit-and-wait MetaMask flow."""
+
+    def __post_init__(self) -> None:
+        if self.num_tasks <= 0:
+            raise SimulationError(f"num_tasks must be positive, got {self.num_tasks}")
+        if self.task_stagger_seconds < 0:
+            raise SimulationError(
+                f"task_stagger_seconds must be non-negative, got {self.task_stagger_seconds}")
+
+    @property
+    def is_seed_exact(self) -> bool:
+        """Whether this spec stays on the seed's exact code path."""
+        return (self.num_tasks == 1 and not self.behavior_fractions
+                and self.network_profile == "ideal" and not self.async_submissions)
+
+    def with_overrides(self, **kwargs) -> "ScenarioSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "num_tasks": self.num_tasks,
+            "task_stagger_seconds": self.task_stagger_seconds,
+            "behavior_fractions": dict(self.behavior_fractions),
+            "network_profile": self.network_profile,
+            "async_submissions": self.async_submissions,
+        }
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    "ideal": ScenarioSpec(
+        name="ideal",
+        description="the seed's world: one task, all honest owners, ideal LAN",
+    ),
+    "adversarial": ScenarioSpec(
+        name="adversarial",
+        description="label-flipping poisoners degrade the aggregate model",
+        behavior_fractions={"poisoner": 0.3},
+    ),
+    "concurrent": ScenarioSpec(
+        name="concurrent",
+        description="many tasks race for one chain node and mempool",
+        num_tasks=5,
+        task_stagger_seconds=45.0,
+        async_submissions=True,
+    ),
+    "lossy": ScenarioSpec(
+        name="lossy",
+        description="a congested WAN: latency, jitter and 15% message loss",
+        network_profile="lossy",
+    ),
+    "churn": ScenarioSpec(
+        name="churn",
+        description="owners churn out mid-task and stragglers upload late",
+        behavior_fractions={"dropout": 0.2, "straggler": 0.3},
+        behavior_kwargs={"straggler": {"mean_delay_seconds": 240.0}},
+    ),
+    "stress": ScenarioSpec(
+        name="stress",
+        description="concurrent tasks on a lossy WAN with a hostile population",
+        num_tasks=4,
+        task_stagger_seconds=30.0,
+        behavior_fractions={"poisoner": 0.2, "dropout": 0.1, "straggler": 0.2},
+        network_profile="lossy",
+        async_submissions=True,
+    ),
+}
+
+
+def build_scenario(name: str, **overrides) -> ScenarioSpec:
+    """Look up a named scenario and apply field overrides."""
+    if name not in SCENARIOS:
+        raise SimulationError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}")
+    spec = SCENARIOS[name]
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return spec

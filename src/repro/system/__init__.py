@@ -16,7 +16,13 @@ Section 3.2 (Steps 1-7) and drives the experiments of Section 4:
 
 from repro.system.config import OFLW3Config, paper_config, quick_config
 from repro.system.costs import GasCostReport, build_gas_cost_report
-from repro.system.orchestrator import MarketplaceReport, run_marketplace
+from repro.system.orchestrator import (
+    MarketplaceReport,
+    build_environment,
+    build_marketplace_report,
+    default_task_spec,
+    run_marketplace,
+)
 from repro.system.roles import ModelBuyer, ModelOwner
 from repro.system.timing import LatencyModel, TimeBreakdown
 from repro.system.workflow import OFLW3Workflow
@@ -28,6 +34,9 @@ __all__ = [
     "GasCostReport",
     "build_gas_cost_report",
     "MarketplaceReport",
+    "build_environment",
+    "build_marketplace_report",
+    "default_task_spec",
     "run_marketplace",
     "ModelBuyer",
     "ModelOwner",

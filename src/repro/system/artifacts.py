@@ -53,6 +53,10 @@ def report_to_dict(report: MarketplaceReport) -> Dict[str, Any]:
         "owner_time": report.owner_time_breakdown().to_dict(),
         "buyer_time": report.buyer_breakdown.to_dict(),
         "model_payload_bytes": report.model_payload_bytes,
+        "model_payload_bytes_by_owner": {
+            k: int(v) for k, v in report.model_payload_bytes_by_owner.items()
+        },
+        "total_model_payload_bytes": report.total_model_payload_bytes,
         "ipfs_bytes_transferred": report.ipfs_bytes_transferred,
         "task_address": report.workflow_result.task_address,
     }
@@ -100,4 +104,11 @@ def summarize_report(payload: Dict[str, Any]) -> str:
         f"total paid:           {sum(payload['payments_wei'].values()) / 1e18:.8f} ETH",
         f"model payload:        {payload['model_payload_bytes'] / 1024:.1f} KB",
     ]
+    total_payload = payload.get("total_model_payload_bytes")
+    if total_payload:
+        per_owner = payload.get("model_payload_bytes_by_owner", {})
+        lines.append(
+            f"payload total:        {total_payload / 1024:.1f} KB "
+            f"across {len(per_owner)} uploads"
+        )
     return "\n".join(lines)

@@ -72,13 +72,24 @@ class MarketplaceReport:
     model_payload_bytes: int
     ipfs_bytes_transferred: int
     workflow_result: WorkflowResult
+    model_payload_bytes_by_owner: Dict[str, int] = field(default_factory=dict)
+    total_model_payload_bytes: int = 0
 
     # -- Fig. 4 ---------------------------------------------------------------------
 
     @property
     def local_accuracies(self) -> List[float]:
-        """Local model accuracies in owner order (the bars of Fig. 4)."""
-        return [self.local_accuracies_by_owner[a] for a in self.owner_addresses]
+        """Local model accuracies in owner order (the bars of Fig. 4).
+
+        Owners with no entry (churned out or lost their submission in a
+        simnet scenario) have no bar; with full participation this is one
+        accuracy per owner, in owner order.
+        """
+        return [
+            self.local_accuracies_by_owner[a]
+            for a in self.owner_addresses
+            if a in self.local_accuracies_by_owner
+        ]
 
     @property
     def accuracy_margin_over_worst(self) -> float:
@@ -89,8 +100,16 @@ class MarketplaceReport:
 
     @property
     def drop_accuracies(self) -> List[float]:
-        """Leave-one-out accuracies in owner order (the bars of Fig. 6)."""
-        return [self.loo_drop_accuracies[a] for a in self.owner_addresses]
+        """Leave-one-out accuracies in owner order (the bars of Fig. 6).
+
+        As with :attr:`local_accuracies`, owners that never contributed a
+        model have no entry.
+        """
+        return [
+            self.loo_drop_accuracies[a]
+            for a in self.owner_addresses
+            if a in self.loo_drop_accuracies
+        ]
 
     @property
     def least_useful_owner(self) -> str:
@@ -130,16 +149,40 @@ class MarketplaceReport:
             "owner_time": self.owner_time_breakdown().to_dict(),
             "buyer_time": self.buyer_breakdown.to_dict(),
             "model_payload_bytes": self.model_payload_bytes,
+            "model_payload_bytes_by_owner": dict(self.model_payload_bytes_by_owner),
+            "total_model_payload_bytes": self.total_model_payload_bytes,
         }
 
 
-def build_environment(config: Optional[OFLW3Config] = None) -> MarketplaceEnvironment:
-    """Construct (but do not run) the full marketplace environment."""
+def build_environment(
+    config: Optional[OFLW3Config] = None,
+    *,
+    node: Optional[EthereumNode] = None,
+    faucet: Optional[Faucet] = None,
+    swarm: Optional[Swarm] = None,
+    label_prefix: str = "",
+    behaviors: Optional[List[Any]] = None,
+) -> MarketplaceEnvironment:
+    """Construct (but do not run) the full marketplace environment.
+
+    With no keyword arguments this builds the seed's single-task world: its
+    own chain node, faucet and fully-meshed swarm.  The discrete-event
+    scenario runner (``repro.simnet``) instead passes shared infrastructure
+    (one node/faucet/swarm for many concurrent tasks), a ``label_prefix``
+    that keeps wallet key labels and IPFS node names collision-free across
+    tasks, and per-owner ``behaviors`` (archetypes from
+    ``repro.simnet.behaviors``; ``None`` entries are honest owners).
+    """
     config = config or OFLW3Config()
-    clock = SimulatedClock()
-    node = EthereumNode(config=ChainConfig(), backend=default_registry(), clock=clock)
-    faucet = Faucet(node)
+    if node is None:
+        clock = SimulatedClock()
+        node = EthereumNode(config=ChainConfig(), backend=default_registry(), clock=clock)
+    faucet = faucet or Faucet(node)
     latency = LatencyModel()
+    if behaviors is not None and len(behaviors) != config.num_owners:
+        raise ValueError(
+            f"behaviors must have one entry per owner "
+            f"({config.num_owners}), got {len(behaviors)}")
 
     # Dataset: synthetic MNIST stand-in, split, then partitioned across owners.
     dataset = generate_synthetic_mnist(
@@ -170,13 +213,15 @@ def build_environment(config: Optional[OFLW3Config] = None) -> MarketplaceEnviro
     )
 
     # IPFS swarm: one node for the buyer, one per owner, fully meshed (LAN).
-    swarm = Swarm()
-    buyer_ipfs = IpfsNode("buyer", swarm)
-    owner_ipfs_nodes = [IpfsNode(f"owner-{i}", swarm) for i in range(config.num_owners)]
+    swarm = swarm if swarm is not None else Swarm()
+    buyer_ipfs = IpfsNode(f"{label_prefix}buyer", swarm)
+    owner_ipfs_nodes = [
+        IpfsNode(f"{label_prefix}owner-{i}", swarm) for i in range(config.num_owners)
+    ]
     swarm.connect_all()
 
     # Wallets, funded by the faucet.
-    buyer_keys = KeyPair.from_label(f"buyer-{config.seed}")
+    buyer_keys = KeyPair.from_label(f"{label_prefix}buyer-{config.seed}")
     buyer_wallet = MetaMaskWallet(buyer_keys, node, gas_price_wei=config.gas_price_wei)
     faucet.drip(buyer_keys.address, config.buyer_funding_wei)
 
@@ -197,18 +242,19 @@ def build_environment(config: Optional[OFLW3Config] = None) -> MarketplaceEnviro
     )
     owners: List[ModelOwner] = []
     for index in range(config.num_owners):
-        keys = KeyPair.from_label(f"owner-{index}-{config.seed}")
+        keys = KeyPair.from_label(f"{label_prefix}owner-{index}-{config.seed}")
         wallet = MetaMaskWallet(keys, node, gas_price_wei=config.gas_price_wei)
         faucet.drip(keys.address, config.owner_funding_wei)
         owners.append(
             ModelOwner(
-                name=f"owner-{index}",
+                name=f"{label_prefix}owner-{index}",
                 wallet=wallet,
                 ipfs=owner_ipfs_nodes[index],
                 dataset=client_datasets[index],
                 training_config=training_config,
                 latency=latency,
                 seed=derive_seed(config.seed, f"owner-model-{index}"),
+                behavior=behaviors[index] if behaviors is not None else None,
             )
         )
 
@@ -226,15 +272,9 @@ def build_environment(config: Optional[OFLW3Config] = None) -> MarketplaceEnviro
     )
 
 
-def run_marketplace(
-    config: Optional[OFLW3Config] = None,
-    environment: Optional[MarketplaceEnvironment] = None,
-) -> MarketplaceReport:
-    """Run the full marketplace and collect the evaluation report."""
-    env = environment or build_environment(config)
-    config = env.config
-
-    task_spec = {
+def default_task_spec(config: OFLW3Config) -> Dict[str, Any]:
+    """The task specification the buyer publishes in Step 1."""
+    return {
         "task": "digit-classification",
         "model": list(config.layer_sizes),
         "algorithm": config.aggregator,
@@ -244,14 +284,18 @@ def run_marketplace(
         "learning_rate": config.learning_rate,
         "local_epochs": config.local_epochs,
     }
-    workflow_result = env.workflow.run(
-        task_spec,
-        budget_wei=config.budget_wei,
-        incentive_method=config.incentive_method,
-        reserve_fraction=config.reserve_fraction,
-        min_payment_wei=config.min_payment_wei,
-    )
 
+
+def build_marketplace_report(
+    env: MarketplaceEnvironment, workflow_result: WorkflowResult
+) -> MarketplaceReport:
+    """Assemble the evaluation report from a completed workflow run.
+
+    Shared by :func:`run_marketplace` (one sequential task) and the
+    discrete-event scenario runner (``repro.simnet``), which executes many
+    workflows against one shared chain and reports each one separately.
+    """
+    config = env.config
     owner_addresses = [owner.address for owner in env.owners]
     aggregation = workflow_result.aggregation
     incentives = workflow_result.incentives
@@ -273,11 +317,15 @@ def run_marketplace(
         for address, amount in env.buyer.backend.tasks[workflow_result.task_address].payments.items()
     }
 
-    model_payload_bytes = (
-        workflow_result.owner_results[0]["upload"]["payload_bytes"]
-        if workflow_result.owner_results
-        else 0
-    )
+    # Per-owner payload sizes; owners that churned out before uploading simply
+    # have no entry.  ``model_payload_bytes`` keeps its historical meaning of
+    # "the size of one model payload" (the first uploaded one).
+    payload_bytes_by_owner = {
+        result["owner"]: int(result["upload"]["payload_bytes"])
+        for result in workflow_result.owner_results
+        if result.get("upload")
+    }
+    model_payload_bytes = next(iter(payload_bytes_by_owner.values()), 0)
 
     return MarketplaceReport(
         config=config,
@@ -294,4 +342,24 @@ def run_marketplace(
         model_payload_bytes=model_payload_bytes,
         ipfs_bytes_transferred=env.swarm.total_bytes_transferred(),
         workflow_result=workflow_result,
+        model_payload_bytes_by_owner=payload_bytes_by_owner,
+        total_model_payload_bytes=sum(payload_bytes_by_owner.values()),
     )
+
+
+def run_marketplace(
+    config: Optional[OFLW3Config] = None,
+    environment: Optional[MarketplaceEnvironment] = None,
+) -> MarketplaceReport:
+    """Run the full marketplace and collect the evaluation report."""
+    env = environment or build_environment(config)
+    config = env.config
+
+    workflow_result = env.workflow.run(
+        default_task_spec(config),
+        budget_wei=config.budget_wei,
+        incentive_method=config.incentive_method,
+        reserve_fraction=config.reserve_fraction,
+        min_payment_wei=config.min_payment_wei,
+    )
+    return build_marketplace_report(env, workflow_result)

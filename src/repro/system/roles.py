@@ -7,10 +7,11 @@ executes its part of the workflow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from repro.data.dataset import Dataset
+from repro.utils.rng import make_rng
 from repro.ipfs.node import IpfsNode
 from repro.ml.trainer import TrainingConfig
 from repro.system.timing import LatencyModel, TimeBreakdown
@@ -34,6 +35,7 @@ class ModelOwner:
         training_config: Optional[TrainingConfig] = None,
         latency: Optional[LatencyModel] = None,
         seed: Optional[int] = None,
+        behavior: Optional[Any] = None,
     ) -> None:
         self.name = name
         self.wallet = wallet
@@ -42,6 +44,14 @@ class ModelOwner:
         self.training_config = training_config or TrainingConfig()
         self.latency = latency or LatencyModel()
         self.seed = seed
+        #: Optional ``repro.simnet.behaviors.OwnerBehavior``-shaped strategy.
+        #: ``None`` (the seed default) is the honest happy path; kept untyped
+        #: so the core system layer does not depend on the simulator package.
+        self.behavior = behavior
+        self._behavior_rng = make_rng(seed if seed is not None else 0,
+                                      f"behavior-{name}")
+        if behavior is not None:
+            self.dataset = behavior.prepare_dataset(dataset, self._behavior_rng)
         self.dapp = OwnerDApp(wallet, ipfs)
         self.breakdown = TimeBreakdown(role=f"owner:{name}")
 
@@ -78,10 +88,23 @@ class ModelOwner:
             "local_training",
             self.latency.training_time(len(self.dataset), self.training_config.epochs),
         )
+        if self.behavior is not None:
+            local = self.dapp.session.local_result
+            tampered = self.behavior.transform_update(local.update, self._behavior_rng)
+            if tampered is not local.update:
+                self.dapp.session.local_result = replace(local, update=tampered)
         return result
 
     def upload_model(self) -> Dict[str, Any]:
         """Upload the model payload to IPFS (Steps 2-3)."""
+        if self.behavior is not None:
+            dawdle = self.behavior.extra_upload_delay(self._behavior_rng)
+            if dawdle > 0:
+                # The straggler sits on its trained model: simulated time
+                # passes for everyone sharing the clock, and the wait shows
+                # up in this owner's Fig. 7 breakdown.
+                self.wallet.node.clock.advance(dawdle)
+                self.breakdown.add("straggle_wait", dawdle)
         result = self.dapp.upload_model()
         self.breakdown.add("model_upload_ipfs", self.latency.transfer_time(result["payload_bytes"]))
         return result
@@ -90,19 +113,76 @@ class ModelOwner:
         """Publish the model's CID on the contract (Step 4, paid transaction)."""
         return self._timed_chain_call("send_cid", self.dapp.submit_cid)
 
-    def run_full_flow(self, contract_address: str) -> Dict[str, Any]:
-        """Execute the complete owner-side workflow for one task."""
-        self.join_task(contract_address)
-        training = self.train()
-        upload = self.upload_model()
-        submission = self.submit_cid()
+    @property
+    def archetype(self) -> str:
+        """Behavior archetype name ("honest" when no behavior is attached)."""
+        return self.behavior.archetype if self.behavior is not None else "honest"
+
+    def drops_out_before(self, phase: str) -> bool:
+        """Whether this owner's behavior churns out before ``phase``."""
+        if self.behavior is None:
+            return False
+        return self.behavior.drop_phase == phase
+
+    def dropped_result(self, phase: str, **partial: Any) -> Dict[str, Any]:
+        """Result dict for an owner that churned out before ``phase``."""
         return {
             "owner": self.address,
+            "archetype": self.archetype,
+            "dropped_out": True,
+            "dropped_before": phase,
+            "total_time": self.breakdown.total,
+            **partial,
+        }
+
+    def iter_flow(self, contract_address: str, submit=None):
+        """The owner-side workflow as a generator, one phase per step.
+
+        Yields ``0.0`` after each phase so a discrete-event scheduler
+        (``repro.simnet``) can interleave many owners/tasks; returns
+        ``(result_dict, submitted)`` where ``submitted`` says whether a CID
+        landed on-chain.  ``submit`` optionally replaces the synchronous CID
+        submission with another generator (e.g. the runner's fire-and-forget
+        broadcast + receipt poll).  :meth:`run_full_flow` drives this same
+        ladder to completion sequentially, so both paths stay identical.
+        """
+        self.join_task(contract_address)
+        yield 0.0
+        if self.drops_out_before("train"):
+            return self.dropped_result("train"), False
+        training = self.train()
+        yield 0.0
+        if self.drops_out_before("upload"):
+            return self.dropped_result("upload", training=training), False
+        upload = self.upload_model()
+        yield 0.0
+        if self.drops_out_before("submit"):
+            return self.dropped_result("submit", training=training, upload=upload), False
+        submission = self.submit_cid() if submit is None else (yield from submit())
+        return {
+            "owner": self.address,
+            "archetype": self.archetype,
+            "dropped_out": False,
             "training": training,
             "upload": upload,
             "submission": submission,
             "total_time": self.breakdown.total,
-        }
+        }, True
+
+    def run_full_flow(self, contract_address: str) -> Dict[str, Any]:
+        """Execute the complete owner-side workflow for one task.
+
+        An owner whose behavior churns out mid-flow returns a partial result
+        with ``dropped_out=True`` instead of raising: from the marketplace's
+        point of view, a churner is silence, not an error.
+        """
+        flow = self.iter_flow(contract_address)
+        while True:
+            try:
+                next(flow)
+            except StopIteration as stop:
+                result, _submitted = stop.value
+                return result
 
     # -- reporting ---------------------------------------------------------------------
 

@@ -60,11 +60,20 @@ class OFLW3Workflow:
     def step2_to_4_owner_contributions(self) -> List[Dict[str, Any]]:
         """Steps 2-4: every owner trains, uploads to IPFS and submits its CID."""
         result = self._require_deployed()
-        owner_results = []
+        result.owner_results = []
         for owner in self.owners:
-            owner_results.append(owner.run_full_flow(result.task_address))
-        result.owner_results = owner_results
-        return owner_results
+            self.record_owner_result(owner.run_full_flow(result.task_address))
+        return result.owner_results
+
+    def record_owner_result(self, owner_result: Dict[str, Any]) -> None:
+        """Append one owner's flow result to the collected results.
+
+        :meth:`step2_to_4_owner_contributions` runs owners back to back; the
+        discrete-event runner (``repro.simnet``) instead drives each owner
+        phase-by-phase through the scheduler and records results here as they
+        complete.
+        """
+        self._require_deployed().owner_results.append(owner_result)
 
     def step5_download_cids(self) -> Dict[str, Any]:
         """Step 5: the buyer lists the CIDs recorded on-chain."""

@@ -14,12 +14,23 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 
+ClockObserver = Callable[[float, float], None]
+
+
 @dataclass
 class SimulatedClock:
-    """A monotonically non-decreasing virtual clock measured in seconds."""
+    """A monotonically non-decreasing virtual clock measured in seconds.
+
+    Observers subscribed with :meth:`subscribe` are notified on every forward
+    movement with ``(old_now, new_now)``.  The event scheduler and the
+    scenario runner (``repro.simnet``) use this to sample time-series metrics
+    (e.g. mempool depth) whenever any component -- even one deep inside
+    ``wait_for_receipt`` -- moves simulated time.
+    """
 
     start_time: float = 0.0
     _now: float = field(init=False)
+    _observers: List[ClockObserver] = field(init=False, default_factory=list)
 
     def __post_init__(self) -> None:
         self._now = float(self.start_time)
@@ -29,17 +40,34 @@ class SimulatedClock:
         """Current virtual time in seconds since the epoch of the simulation."""
         return self._now
 
+    def subscribe(self, observer: ClockObserver) -> ClockObserver:
+        """Register ``observer(old_now, new_now)`` for every forward movement."""
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: ClockObserver) -> None:
+        """Remove a previously subscribed observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _move_to(self, timestamp: float) -> float:
+        old = self._now
+        self._now = float(timestamp)
+        if self._now > old:
+            for observer in self._observers:
+                observer(old, self._now)
+        return self._now
+
     def advance(self, seconds: float) -> float:
         """Advance the clock by ``seconds`` (must be non-negative)."""
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time: {seconds}")
-        self._now += float(seconds)
-        return self._now
+        return self._move_to(self._now + float(seconds))
 
     def advance_to(self, timestamp: float) -> float:
         """Advance the clock to an absolute ``timestamp`` if it is in the future."""
         if timestamp > self._now:
-            self._now = float(timestamp)
+            self._move_to(timestamp)
         return self._now
 
     def sleep(self, seconds: float) -> None:

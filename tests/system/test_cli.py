@@ -57,6 +57,44 @@ class TestRunCommand:
         assert "aggregate accuracy" in capsys.readouterr().out
 
 
+class TestSimulateCommand:
+    def test_simulate_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "simulate", "--scenario", "adversarial", "--poison-fraction", "0.3",
+            "--tasks", "2", "--network", "lossy",
+        ])
+        assert args.command == "simulate"
+        assert args.scenario == "adversarial"
+        assert args.poison_fraction == pytest.approx(0.3)
+        assert args.tasks == 2
+        assert args.network == "lossy"
+
+    def test_simulate_adversarial_and_save(self, tmp_path, capsys):
+        report_path = tmp_path / "scenario.json"
+        exit_code = main([
+            "simulate", "--scenario", "adversarial", "--poison-fraction", "0.5",
+            "--owners", "2", "--epochs", "1", "--seed", "21",
+            "--save", str(report_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "adversarial" in output
+        assert "adversary fraction" in output or "adversaries" in output
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == "oflw3-scenario-report/v1"
+        assert payload["tasks"][0]["adversary_fraction"] == pytest.approx(0.5)
+
+    def test_simulate_concurrent_tasks(self, capsys):
+        exit_code = main([
+            "simulate", "--scenario", "concurrent", "--tasks", "3",
+            "--owners", "2", "--epochs", "1", "--seed", "22",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "3/3 completed" in output
+
+
 class TestGasReportCommand:
     def test_gas_report_prints_fee_table(self, capsys):
         assert main(["gas-report", "--owners", "2"]) == 0
