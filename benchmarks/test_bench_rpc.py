@@ -1,0 +1,100 @@
+"""RPC gateway micro-benchmarks: batched vs sequential calls, middleware cost.
+
+The gateway is on the hot path of every chain read, so its dispatch overhead
+matters at "millions of users" scale.  Three measurements:
+
+* sequential single-call throughput (one envelope per ``eth_getBalance``);
+* batched throughput (one envelope for the whole window), the lever a
+  future transport uses to amortize round trips;
+* the marginal cost of the middleware chain (metrics + token bucket +
+  allowlist) over a bare gateway.
+
+Each bench prints requests/second so the numbers land in the bench logs
+alongside the simnet scenario throughputs.
+"""
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.contracts import default_registry
+from repro.rpc import (
+    JsonRpcGateway,
+    MarketplaceClient,
+    MethodAllowlist,
+    TokenBucketRateLimiter,
+)
+from repro.utils.units import ether_to_wei
+
+from .conftest import print_table
+
+CALLS_PER_ROUND = 200
+ACCOUNT = KeyPair.from_label("bench-rpc-account")
+
+
+def fresh_client(**gateway_kwargs):
+    """A client over a funded single-node stack."""
+    node = EthereumNode(backend=default_registry())
+    Faucet(node).drip(ACCOUNT.address, ether_to_wei(5))
+    return MarketplaceClient(JsonRpcGateway(node=node, **gateway_kwargs))
+
+
+def requests_per_second(benchmark) -> float:
+    """Requests/second from a pytest-benchmark run over CALLS_PER_ROUND calls."""
+    return CALLS_PER_ROUND / benchmark.stats.stats.mean
+
+
+def test_bench_sequential_single_calls(benchmark):
+    """One JSON-RPC envelope per eth_getBalance."""
+    client = fresh_client()
+
+    def sequential():
+        for _ in range(CALLS_PER_ROUND):
+            client.eth.get_balance(ACCOUNT.address)
+
+    benchmark.pedantic(sequential, rounds=5, iterations=1, warmup_rounds=1)
+    print_table(
+        "sequential RPC throughput",
+        [("eth_getBalance x%d" % CALLS_PER_ROUND,
+          f"{requests_per_second(benchmark):,.0f} req/s")],
+        ["workload", "throughput"],
+    )
+
+
+def test_bench_batched_calls(benchmark):
+    """The same window of calls as one batch envelope."""
+    client = fresh_client()
+
+    def batched():
+        batch = client.batch()
+        for _ in range(CALLS_PER_ROUND):
+            batch.add("eth_getBalance", ACCOUNT.address)
+        batch.execute()
+
+    benchmark.pedantic(batched, rounds=5, iterations=1, warmup_rounds=1)
+    print_table(
+        "batched RPC throughput",
+        [("eth_getBalance batch of %d" % CALLS_PER_ROUND,
+          f"{requests_per_second(benchmark):,.0f} req/s")],
+        ["workload", "throughput"],
+    )
+
+
+def test_bench_middleware_overhead(benchmark):
+    """Full middleware chain (metrics + rate limit + allowlist) per request."""
+    client = fresh_client(middleware=[
+        TokenBucketRateLimiter(rate=10_000_000.0),
+        MethodAllowlist(["eth_*", "evm_mine"]),
+    ])
+
+    def with_middleware():
+        for _ in range(CALLS_PER_ROUND):
+            client.eth.get_balance(ACCOUNT.address)
+
+    benchmark.pedantic(with_middleware, rounds=5, iterations=1, warmup_rounds=1)
+    print_table(
+        "middleware-chain overhead",
+        [("metrics + token bucket + allowlist",
+          f"{requests_per_second(benchmark):,.0f} req/s")],
+        ["configuration", "throughput"],
+    )
+    snapshot = client.gateway.metrics.snapshot()
+    assert snapshot["errors_total"] == 0
+    assert snapshot["by_method"]["eth_getBalance"] >= CALLS_PER_ROUND

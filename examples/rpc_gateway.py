@@ -1,0 +1,70 @@
+"""Walkthrough of the JSON-RPC gateway and the MarketplaceClient SDK.
+
+Builds a small marketplace environment (every wallet and facade already
+shares the environment's gateway), runs it, then uses the SDK to audit the
+run through the same front door: decoded balances, paginated logs, a batch
+request, a log filter polled across mined blocks, and the gateway's own
+request metrics.
+
+Run with:  PYTHONPATH=src python examples/rpc_gateway.py
+"""
+
+from repro.chain.events import LogFilter
+from repro.rpc import MarketplaceClient
+from repro.system import quick_config, run_marketplace
+from repro.system.orchestrator import build_environment
+from repro.utils.units import format_ether
+
+
+def main() -> None:
+    config = quick_config(num_owners=3, num_samples=600, local_epochs=1, seed=17)
+    print(f"running a {config.num_owners}-owner marketplace "
+          f"(everything crosses one JSON-RPC gateway)...")
+    environment = build_environment(config)
+    report = run_marketplace(environment=environment)
+    print(f"aggregate accuracy: {report.aggregate_accuracy:.4f}\n")
+
+    client = MarketplaceClient(environment.gateway)
+
+    print("-- typed sub-clients ------------------------------------------------")
+    print(f"chain id:      {client.eth.chain_id}")
+    print(f"block height:  {client.eth.block_number}")
+    print(f"buyer balance: {format_ether(client.eth.get_balance(environment.buyer.address))} ETH")
+
+    print("\n-- paginated eth_getLogs -------------------------------------------")
+    cursor, page_number = None, 0
+    while True:
+        page = client.eth.get_logs(LogFilter(event_name="CidUploaded"),
+                                   limit=2, cursor=cursor)
+        page_number += 1
+        cids = [log.args["cid"][:16] + "..." for log in page.logs]
+        print(f"page {page_number}: {cids} (next_cursor={page.next_cursor})")
+        if page.next_cursor is None:
+            break
+        cursor = page.next_cursor
+
+    print("\n-- one batch envelope, many calls ----------------------------------")
+    with client.batch() as batch:
+        handles = [
+            batch.add("eth_getBalance", owner.address)
+            for owner in environment.owners
+        ]
+    for owner, handle in zip(environment.owners, handles):
+        print(f"{owner.name}: {format_ether(int(handle.result(), 16))} ETH")
+
+    print("\n-- a filter polled across mined blocks -----------------------------")
+    filter_id = client.eth.new_block_filter()
+    client.eth.mine(3)
+    print(f"poll 1: {len(client.eth.get_filter_changes(filter_id))} new blocks")
+    print(f"poll 2: {len(client.eth.get_filter_changes(filter_id))} new blocks")
+
+    print("\n-- gateway request metrics -----------------------------------------")
+    metrics = environment.gateway.metrics.snapshot()
+    print(f"total requests: {metrics['requests_total']} "
+          f"({metrics['errors_total']} errors)")
+    for method, count in environment.gateway.metrics.top_methods(6):
+        print(f"  {method:<32}{count:>6}")
+
+
+if __name__ == "__main__":
+    main()

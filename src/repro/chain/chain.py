@@ -15,7 +15,7 @@ from repro.chain.block import (
     make_genesis_block,
 )
 from repro.chain.consensus import ProofOfAuthority
-from repro.chain.events import EventLog, LogFilter
+from repro.chain.events import EventLog, LogFilter, LogPage, parse_cursor
 from repro.chain.executor import BlockContext, ContractBackend, TransactionExecutor
 from repro.chain.gas import GasSchedule, SEPOLIA_GAS_SCHEDULE
 from repro.chain.mempool import Mempool
@@ -121,6 +121,41 @@ class Blockchain:
         if log_filter is None:
             return list(self._logs)
         return log_filter.apply(self._logs)
+
+    @property
+    def log_count(self) -> int:
+        """Number of logs in the canonical (append-only) log stream."""
+        return len(self._logs)
+
+    def logs_page(
+        self,
+        log_filter: Optional[LogFilter] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> LogPage:
+        """One page of the canonical log stream, filtered.
+
+        The cursor is an opaque position in the append-only stream: pass a
+        page's ``next_cursor`` back to resume exactly where it stopped.
+        Cursors never invalidate because logs are only ever appended.
+        """
+        start = parse_cursor(cursor, "log")
+        if limit is not None and limit <= 0:
+            raise ValueError(f"log page limit must be positive, got {limit}")
+        matched: List[EventLog] = []
+        next_cursor: Optional[str] = None
+        for position in range(start, len(self._logs)):
+            log = self._logs[position]
+            if log_filter is not None and not log_filter.matches(log):
+                continue
+            matched.append(log)
+            if limit is not None and len(matched) >= limit:
+                # A full page always carries a cursor -- even at the current
+                # end of the stream -- so tailing callers can resume after
+                # more logs land; only a short page means "exhausted".
+                next_cursor = str(position + 1)
+                break
+        return LogPage(logs=matched, next_cursor=next_cursor)
 
     # -- transaction intake --------------------------------------------------
 

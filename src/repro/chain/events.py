@@ -54,6 +54,18 @@ class EventLog:
             "log_index": self.log_index,
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "EventLog":
+        """Reconstruct a log from :meth:`to_dict` output (RPC round-trips)."""
+        return cls(
+            address=Address(payload["address"]),
+            name=payload["event"],
+            args=dict(payload.get("args", {})),
+            block_number=int(payload.get("block_number", 0)),
+            transaction_hash=payload.get("transaction_hash", ""),
+            log_index=int(payload.get("log_index", 0)),
+        )
+
 
 @dataclass
 class LogFilter:
@@ -86,3 +98,46 @@ class LogFilter:
     def apply(self, logs: Iterable[EventLog]) -> List[EventLog]:
         """Return the logs that match, preserving order."""
         return [log for log in logs if self.matches(log)]
+
+
+def parse_cursor(cursor: Optional[str], what: str = "log") -> int:
+    """Decode a pagination cursor into a stream position (0 when ``None``).
+
+    Shared by the chain's log pagination and the explorer's record
+    pagination so the cursor format lives in exactly one place.
+    """
+    if cursor is None:
+        return 0
+    try:
+        position = int(cursor)
+    except (TypeError, ValueError):
+        raise ValueError(f"malformed {what} cursor {cursor!r}") from None
+    if position < 0:
+        raise ValueError(f"malformed {what} cursor {cursor!r}")
+    return position
+
+
+@dataclass(frozen=True)
+class LogPage:
+    """One page of a paginated log query.
+
+    ``next_cursor`` is an opaque token to pass back for the next page, or
+    ``None`` when the query is exhausted.  Cursors stay valid indefinitely
+    because the canonical log stream is append-only.
+    """
+
+    logs: List[EventLog]
+    next_cursor: Optional[str] = None
+
+    def __iter__(self):
+        return iter(self.logs)
+
+    def __len__(self) -> int:
+        return len(self.logs)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (the ``eth_getLogs`` page shape)."""
+        return {
+            "logs": [log.to_dict() for log in self.logs],
+            "next_cursor": self.next_cursor,
+        }

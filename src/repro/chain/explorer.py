@@ -11,10 +11,11 @@ fees.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.chain.account import Address
 from repro.chain.chain import Blockchain
+from repro.chain.events import parse_cursor
 from repro.chain.receipts import TransactionReceipt
 from repro.chain.transaction import Transaction
 from repro.utils.units import format_ether
@@ -88,6 +89,55 @@ class Explorer:
             if candidate.transaction.hash_hex == tx_hash:
                 return candidate
         return None
+
+    def records_page(
+        self,
+        address: Optional[Address | str] = None,
+        limit: int = 50,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[TransactionRecord], Optional[str]]:
+        """One page of transaction records, optionally scoped to ``address``.
+
+        The cursor is a position in the chain-ordered record stream, which is
+        append-only, so cursors stay valid as the chain grows.  Returns the
+        page plus the next cursor (``None`` when exhausted) -- this is what
+        keeps explorer queries bounded over long simnet runs.
+        """
+        if limit <= 0:
+            raise ValueError(f"records_page limit must be positive, got {limit}")
+        start = parse_cursor(cursor, "records")
+        addr = Address(address) if address is not None else None
+        page: List[TransactionRecord] = []
+        next_cursor: Optional[str] = None
+        # Walk blocks in chain order, skipping whole blocks before the
+        # cursor, so per-page work is bounded by the scan distance rather
+        # than materializing every record on every call.
+        position = 0
+        for block in self.chain.blocks():
+            block_size = len(block.transactions)
+            if position + block_size <= start:
+                position += block_size
+                continue
+            for tx, receipt in zip(block.transactions, block.receipts):
+                if position < start:
+                    position += 1
+                    continue
+                record = TransactionRecord(transaction=tx, receipt=receipt)
+                position += 1
+                if addr is not None and not (
+                    record.transaction.sender == addr or record.transaction.to == addr
+                ):
+                    continue
+                page.append(record)
+                if len(page) >= limit:
+                    # A full page always carries a cursor (even at the chain
+                    # tip) so callers can resume after new blocks land; a
+                    # short page means "exhausted".
+                    next_cursor = str(position)
+                    break
+            if next_cursor is not None:
+                break
+        return page, next_cursor
 
     # -- aggregate statistics ---------------------------------------------------
 

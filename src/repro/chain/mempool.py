@@ -25,6 +25,9 @@ class Mempool:
         self._counter = 0
         self.max_depth = 0
         self.total_added = 0
+        #: Append-only journal of every accepted transaction hash, in arrival
+        #: order.  ``eth_newPendingTransactionFilter`` polls it by offset.
+        self.added_journal: List[str] = []
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -52,6 +55,7 @@ class Mempool:
         self._arrival[tx_hash] = self._counter
         self._counter += 1
         self.total_added += 1
+        self.added_journal.append(tx_hash)
         self.max_depth = max(self.max_depth, len(self._pending))
         return tx_hash
 

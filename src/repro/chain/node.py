@@ -20,7 +20,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 from repro.chain.account import Address
 from repro.chain.block import Block
 from repro.chain.chain import Blockchain, ChainConfig
-from repro.chain.events import EventLog, LogFilter
+from repro.chain.events import EventLog, LogFilter, LogPage
 from repro.chain.executor import BlockContext, ContractBackend
 from repro.chain.keys import KeyPair
 from repro.chain.receipts import TransactionReceipt
@@ -222,9 +222,31 @@ class EthereumNode:
 
     # -- logs ------------------------------------------------------------------
 
-    def get_logs(self, log_filter: Optional[LogFilter] = None) -> List[EventLog]:
-        """Query event logs on the canonical chain."""
-        return self.chain.logs(log_filter)
+    def get_logs(
+        self,
+        log_filter: Optional[LogFilter] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> List[EventLog]:
+        """Query event logs on the canonical chain.
+
+        Without ``limit``/``cursor`` this returns every matching log (the
+        seed behaviour).  With either set it returns at most ``limit`` logs
+        starting from ``cursor``; use :meth:`get_logs_page` to also receive
+        the continuation cursor.
+        """
+        if limit is None and cursor is None:
+            return self.chain.logs(log_filter)
+        return self.chain.logs_page(log_filter, limit=limit, cursor=cursor).logs
+
+    def get_logs_page(
+        self,
+        log_filter: Optional[LogFilter] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> LogPage:
+        """Paginated log query: a page of logs plus the next cursor."""
+        return self.chain.logs_page(log_filter, limit=limit, cursor=cursor)
 
     # -- mining control ---------------------------------------------------------
 

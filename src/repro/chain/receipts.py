@@ -58,5 +58,36 @@ class TransactionReceipt:
             "transaction_index": self.transaction_index,
             "contract_address": str(self.contract_address) if self.contract_address else None,
             "logs": [log.to_dict() for log in self.logs],
+            "return_value": self.return_value,
             "revert_reason": self.revert_reason,
+            "cumulative_gas_used": self.cumulative_gas_used,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TransactionReceipt":
+        """Reconstruct a receipt from :meth:`to_dict` output.
+
+        Used by the JSON-RPC client so that callers of
+        ``eth_getTransactionReceipt`` get back the same object the node-level
+        API returns, including ``return_value`` and fee accounting.
+        """
+        return cls(
+            transaction_hash=payload["transaction_hash"],
+            sender=Address(payload["from"]),
+            to=Address(payload["to"]) if payload.get("to") else None,
+            status=bool(payload["status"]),
+            gas_used=int(payload["gas_used"]),
+            gas_price=int(payload["gas_price"]),
+            block_number=int(payload.get("block_number", 0)),
+            block_hash=payload.get("block_hash", ""),
+            transaction_index=int(payload.get("transaction_index", 0)),
+            contract_address=(
+                Address(payload["contract_address"])
+                if payload.get("contract_address")
+                else None
+            ),
+            logs=[EventLog.from_dict(log) for log in payload.get("logs", [])],
+            return_value=payload.get("return_value"),
+            revert_reason=payload.get("revert_reason"),
+            cumulative_gas_used=int(payload.get("cumulative_gas_used", 0)),
+        )

@@ -20,7 +20,7 @@ from repro.errors import InvalidSignatureError, InvalidTransactionError
 from repro.chain.account import Address
 from repro.chain.gas import GasSchedule, SEPOLIA_GAS_SCHEDULE
 from repro.chain.keys import KeyPair, Signature, recover_address
-from repro.utils.encoding import to_hex
+from repro.utils.encoding import from_hex, to_hex
 from repro.utils.hashing import keccak256
 from repro.utils.serialization import canonical_dumps, canonical_loads, rlp_encode
 
@@ -169,6 +169,47 @@ class Transaction:
             "gas_price": self.gas_price,
             "signature": self.signature.to_dict() if self.signature else None,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Transaction":
+        """Reconstruct a transaction from :meth:`to_dict` output.
+
+        The ``hash`` field is ignored -- the hash is always recomputed from
+        the reconstructed fields, so a tampered payload cannot smuggle a
+        mismatched identity.
+        """
+        tx = cls(
+            sender=Address(payload["sender"]),
+            to=Address(payload["to"]) if payload.get("to") else None,
+            value=int(payload.get("value", 0)),
+            data=from_hex(payload.get("data") or "0x"),
+            nonce=int(payload.get("nonce", 0)),
+            gas_limit=int(payload.get("gas_limit", 21_000)),
+            gas_price=int(payload.get("gas_price", 10**9)),
+        )
+        if payload.get("signature"):
+            tx.signature = Signature.from_dict(payload["signature"])
+        return tx
+
+    def serialize_raw(self) -> str:
+        """Hex-encode the signed transaction for ``eth_sendRawTransaction``.
+
+        The wire form is the canonical-JSON rendering of :meth:`to_dict`
+        (signature included), hex-encoded -- the reproduction's analogue of
+        an RLP-encoded raw transaction.
+        """
+        return to_hex(canonical_dumps(self.to_dict()).encode("utf-8"))
+
+    @classmethod
+    def deserialize_raw(cls, raw: str) -> "Transaction":
+        """Decode a :meth:`serialize_raw` payload back into a transaction."""
+        try:
+            payload = canonical_loads(from_hex(raw).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise InvalidTransactionError(f"undecodable raw transaction: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise InvalidTransactionError("raw transaction must decode to an object")
+        return cls.from_dict(payload)
 
     @property
     def size_bytes(self) -> int:

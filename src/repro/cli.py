@@ -10,6 +10,11 @@ Subcommands
     tasks, adversarial owner populations, lossy networks -- and print the
     scenario report (throughput, mempool depth, gas, accuracy vs adversary
     fraction).
+``rpc``
+    Ad-hoc JSON-RPC calls against the gateway (``repro.rpc``): list the
+    served methods, issue a single ``eth_*``/``ipfs_*``/``oflw3_*`` call or
+    a raw batch, optionally against a chain pre-seeded with a tiny
+    marketplace run.
 ``gas-report``
     Replay only the on-chain side of the workflow and print the Fig. 5 fee
     table plus the CID-vs-model storage comparison.
@@ -89,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fraction of owners that upload junk models")
     sim_parser.add_argument("--save", default=None, metavar="PATH",
                             help="save the scenario report to a JSON file")
+
+    rpc_parser = subparsers.add_parser(
+        "rpc", help="issue ad-hoc JSON-RPC calls against the gateway")
+    rpc_parser.add_argument("method", nargs="?", default=None,
+                            help="JSON-RPC method name (e.g. eth_blockNumber)")
+    rpc_parser.add_argument("params", nargs="*",
+                            help="params, each parsed as JSON (bare words stay strings)")
+    rpc_parser.add_argument("--list", action="store_true", dest="list_methods",
+                            help="list every method the gateway serves")
+    rpc_parser.add_argument("--batch", default=None, metavar="JSON",
+                            help="send a raw JSON-RPC envelope or batch array instead")
+    rpc_parser.add_argument("--demo", action="store_true",
+                            help="seed the chain with a tiny marketplace run first")
+    rpc_parser.add_argument("--seed", type=int, default=7,
+                            help="seed for the --demo marketplace (default: 7)")
 
     gas_parser = subparsers.add_parser("gas-report", help="print the Fig. 5 gas-fee analysis")
     gas_parser.add_argument("--owners", type=int, default=10)
@@ -209,6 +229,61 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0 if report.tasks_failed == 0 else 3
 
 
+def _command_rpc(args: argparse.Namespace) -> int:
+    """Implement the ``rpc`` subcommand."""
+    import json
+
+    from repro.chain import EthereumNode
+    from repro.contracts import default_registry
+    from repro.ipfs import Swarm
+    from repro.rpc import JsonRpcGateway
+
+    if args.demo:
+        from repro.system import quick_config, run_marketplace
+        from repro.system.orchestrator import build_environment
+
+        config = quick_config(num_owners=2, num_samples=400, local_epochs=1,
+                              seed=args.seed)
+        print(f"seeding the chain with a tiny marketplace run (seed {args.seed})...",
+              file=sys.stderr)
+        environment = build_environment(config)
+        run_marketplace(environment=environment)
+        gateway = environment.gateway
+    else:
+        gateway = JsonRpcGateway(
+            node=EthereumNode(backend=default_registry()), swarm=Swarm())
+
+    if args.list_methods:
+        for name in gateway.methods():
+            print(name)
+        return 0
+
+    if args.batch is not None:
+        try:
+            payload = json.loads(args.batch)
+        except ValueError as error:
+            print(f"error: --batch is not valid JSON: {error}", file=sys.stderr)
+            return 2
+        response = gateway.handle(payload)
+    elif args.method is not None:
+        params = []
+        for raw in args.params:
+            try:
+                params.append(json.loads(raw))
+            except ValueError:
+                params.append(raw)  # bare words (addresses, CIDs) stay strings
+        response = gateway.handle(
+            {"jsonrpc": "2.0", "id": 1, "method": args.method, "params": params})
+    else:
+        print("error: give a method, --batch, or --list", file=sys.stderr)
+        return 2
+
+    print(json.dumps(response, indent=2, sort_keys=True, default=str))
+    failed = ("error" in response if isinstance(response, dict)
+              else any("error" in entry for entry in response or []))
+    return 1 if failed else 0
+
+
 def _run_gas_report(owners: int, gas_price_gwei: float) -> int:
     """Print the gas-fee table (shared by the CLI and tests)."""
     from repro.chain import EthereumNode, Faucet, KeyPair
@@ -308,8 +383,10 @@ def _command_show(path: str) -> int:
 def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
-    print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, system, simnet")
-    print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp")
+    print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
+          "system, simnet")
+    print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
+          "repro.rpc.MarketplaceClient")
     print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
     return 0
 
@@ -325,6 +402,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "rpc":
+        return _command_rpc(args)
     if args.command == "gas-report":
         return _run_gas_report(args.owners, args.gas_price_gwei)
     if args.command == "model-quality":

@@ -179,6 +179,33 @@ class WalletError(WebError):
 
 
 # ---------------------------------------------------------------------------
+# JSON-RPC gateway (repro.rpc)
+# ---------------------------------------------------------------------------
+
+
+class RpcError(ReproError):
+    """A JSON-RPC gateway returned an error response.
+
+    Raised by :class:`repro.rpc.client.MarketplaceClient` when the gateway
+    answers with an error envelope that does not rehydrate into a more
+    specific :class:`ReproError` subclass.  Carries the JSON-RPC error
+    ``code`` and the optional structured ``data`` member.
+    """
+
+    def __init__(self, message: str, code: int = -32000, data=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.data = data
+
+
+class RateLimitError(RpcError):
+    """The gateway's token-bucket rate limiter rejected the request."""
+
+    def __init__(self, message: str, code: int = -32005, data=None) -> None:
+        super().__init__(message, code=code, data=data)
+
+
+# ---------------------------------------------------------------------------
 # System orchestration
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""The versioned JSON-RPC boundary of the reproduction (``repro.rpc``).
+
+The paper's real deployment talks to Ethereum through a JSON-RPC endpoint
+(MetaMask/web3 -> node) and to the buyer's Flask service through REST.  This
+package makes that boundary explicit and singular: a transport-agnostic
+JSON-RPC 2.0 gateway with namespaced method registries (``eth_*``,
+``ipfs_*``, ``oflw3_*``), batch requests, polling subscription filters and a
+middleware chain (metrics, rate limiting, allowlists) -- plus the
+:class:`MarketplaceClient` SDK that every higher layer (wallet, DApp
+facades, backend, CLI, simnet) routes its stack access through.
+
+Having one metered door is the architectural seam that future sharding,
+caching and async work plugs into.
+"""
+
+from repro.rpc.client import BatchCall, EthClient, IpfsClient, MarketplaceClient, Oflw3Client, RpcBatch
+from repro.rpc.filters import FilterManager
+from repro.rpc.gateway import JsonRpcGateway
+from repro.rpc.middleware import MethodAllowlist, RequestMetrics, TokenBucketRateLimiter
+from repro.rpc.protocol import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    JsonRpcError,
+    METHOD_NOT_ALLOWED,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    RATE_LIMITED,
+    SERVER_ERROR,
+    RpcRequest,
+    from_quantity,
+    make_request,
+    to_quantity,
+)
+
+__all__ = [
+    "BatchCall",
+    "EthClient",
+    "FilterManager",
+    "IpfsClient",
+    "JsonRpcError",
+    "JsonRpcGateway",
+    "MarketplaceClient",
+    "MethodAllowlist",
+    "Oflw3Client",
+    "RequestMetrics",
+    "RpcBatch",
+    "RpcRequest",
+    "TokenBucketRateLimiter",
+    "from_quantity",
+    "make_request",
+    "to_quantity",
+    "PARSE_ERROR",
+    "INVALID_REQUEST",
+    "METHOD_NOT_FOUND",
+    "INVALID_PARAMS",
+    "INTERNAL_ERROR",
+    "SERVER_ERROR",
+    "METHOD_NOT_ALLOWED",
+    "RATE_LIMITED",
+]

@@ -1,0 +1,108 @@
+"""Polling-based subscription filters (``eth_newFilter`` and friends).
+
+A real web3 client watches the chain by installing a filter and polling
+``eth_getFilterChanges``.  The manager reproduces that surface over the
+simulated node:
+
+* **block filters** report the hashes of blocks mined since the last poll;
+* **pending-transaction filters** report transaction hashes that entered the
+  mempool since the last poll (via the mempool's append-only journal);
+* **log filters** report new event logs matching a :class:`LogFilter`,
+  riding the chain's append-only log cursor so polls never rescan history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.chain.events import LogFilter
+from repro.chain.node import EthereumNode
+from repro.rpc.protocol import FILTER_NOT_FOUND, JsonRpcError
+
+
+@dataclass
+class _InstalledFilter:
+    """One live filter: its kind, poll cursor and (for logs) criteria."""
+
+    kind: str  # "block" | "pending" | "log"
+    cursor: int
+    criteria: Optional[LogFilter] = None
+
+
+class FilterManager:
+    """Installs, polls and uninstalls filters over one node."""
+
+    def __init__(self, node: EthereumNode) -> None:
+        self.node = node
+        self._filters: Dict[str, _InstalledFilter] = {}
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+    def _install(self, entry: _InstalledFilter) -> str:
+        filter_id = hex(self._next_id)
+        self._next_id += 1
+        self._filters[filter_id] = entry
+        return filter_id
+
+    def _lookup(self, filter_id: str) -> _InstalledFilter:
+        entry = self._filters.get(filter_id)
+        if entry is None:
+            raise JsonRpcError(FILTER_NOT_FOUND, f"filter {filter_id} not found")
+        return entry
+
+    # -- installation --------------------------------------------------------
+
+    def new_block_filter(self) -> str:
+        """Watch for newly mined blocks from the current tip."""
+        return self._install(_InstalledFilter(kind="block", cursor=self.node.block_number))
+
+    def new_pending_transaction_filter(self) -> str:
+        """Watch for transactions entering the mempool from now on."""
+        journal = self.node.chain.mempool.added_journal
+        return self._install(_InstalledFilter(kind="pending", cursor=len(journal)))
+
+    def new_log_filter(self, criteria: Optional[LogFilter] = None) -> str:
+        """Watch for new event logs matching ``criteria`` from now on."""
+        return self._install(
+            _InstalledFilter(kind="log", cursor=self.node.chain.log_count, criteria=criteria)
+        )
+
+    # -- polling -------------------------------------------------------------
+
+    def changes(self, filter_id: str) -> List[Any]:
+        """Everything new since the last poll of ``filter_id``."""
+        entry = self._lookup(filter_id)
+        if entry.kind == "block":
+            tip = self.node.block_number
+            hashes = [
+                self.node.get_block(number).hash
+                for number in range(entry.cursor + 1, tip + 1)
+            ]
+            entry.cursor = tip
+            return hashes
+        if entry.kind == "pending":
+            journal = self.node.chain.mempool.added_journal
+            new_hashes = list(journal[entry.cursor:])
+            entry.cursor = len(journal)
+            return new_hashes
+        page = self.node.get_logs_page(entry.criteria, cursor=str(entry.cursor))
+        entry.cursor = self.node.chain.log_count
+        return [log.to_dict() for log in page.logs]
+
+    def logs(self, filter_id: str) -> List[Dict[str, Any]]:
+        """All logs matching a log filter's criteria (``eth_getFilterLogs``)."""
+        entry = self._lookup(filter_id)
+        if entry.kind != "log":
+            raise JsonRpcError(
+                FILTER_NOT_FOUND, f"filter {filter_id} is not a log filter"
+            )
+        return [log.to_dict() for log in self.node.get_logs(entry.criteria)]
+
+    # -- teardown ------------------------------------------------------------
+
+    def uninstall(self, filter_id: str) -> bool:
+        """Remove a filter; returns whether it existed."""
+        return self._filters.pop(filter_id, None) is not None

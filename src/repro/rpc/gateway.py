@@ -1,0 +1,203 @@
+"""The JSON-RPC 2.0 gateway: one metered door to the whole stack.
+
+:class:`JsonRpcGateway` dispatches validated requests to namespaced method
+registries (``eth_*``, ``ipfs_*``, ``oflw3_*``), supports batches and
+notifications, and runs every request through a middleware chain (metrics
+first, then whatever the caller installed: rate limiters, allowlists...).
+
+The gateway is transport-agnostic: :meth:`handle` consumes/produces plain
+dicts (what an in-process client uses), :meth:`handle_raw` consumes/produces
+JSON text (what a socket transport would use).  Both speak identical
+envelopes, so everything above the gateway is already wire-shaped.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from repro.errors import ReproError
+from repro.chain.node import EthereumNode
+from repro.ipfs.node import IpfsNode
+from repro.ipfs.swarm import Swarm
+from repro.rpc.middleware import RequestMetrics
+from repro.rpc.namespaces import EthNamespace, IpfsNamespace, Oflw3Namespace
+from repro.rpc.protocol import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    JsonRpcError,
+    METHOD_NOT_FOUND,
+    PARSE_ERROR,
+    RpcRequest,
+    SERVER_ERROR,
+    error_response,
+    parse_request,
+    success_response,
+)
+
+Middleware = Callable[[RpcRequest, Callable[[RpcRequest], Any]], Any]
+
+
+class JsonRpcGateway:
+    """Versioned JSON-RPC 2.0 gateway over the chain/IPFS/backend stack."""
+
+    def __init__(
+        self,
+        node: Optional[EthereumNode] = None,
+        swarm: Optional[Swarm] = None,
+        ipfs: Optional[IpfsNode] = None,
+        middleware: Optional[Iterable[Middleware]] = None,
+        metrics: bool = True,
+    ) -> None:
+        self._methods: Dict[str, Callable[..., Any]] = {}
+        self._signatures: Dict[str, inspect.Signature] = {}
+        self.metrics: Optional[RequestMetrics] = RequestMetrics() if metrics else None
+        self._middleware: List[Middleware] = (
+            [self.metrics] if self.metrics is not None else []
+        ) + list(middleware or [])
+        #: Lazily composed middleware pipeline (rebuilt from _middleware once).
+        self._pipeline: Optional[Callable[[RpcRequest], Any]] = None
+
+        self.eth: Optional[EthNamespace] = None
+        self.ipfs = IpfsNamespace(swarm=swarm)
+        self.oflw3 = Oflw3Namespace()
+        if node is not None:
+            self.serve_node(node)
+        if swarm is not None:
+            self.register_namespace(self.ipfs.methods())
+        if ipfs is not None:
+            self.serve_ipfs_node(ipfs)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def register(self, name: str, handler: Callable[..., Any], replace: bool = True) -> None:
+        """Register one method; later registrations win unless ``replace=False``."""
+        if not replace and name in self._methods:
+            raise ValueError(f"method {name} already registered")
+        self._methods[name] = handler
+        self._signatures[name] = inspect.signature(handler)
+
+    def register_namespace(self, methods: Dict[str, Callable[..., Any]]) -> None:
+        """Register a whole method table."""
+        for name, handler in methods.items():
+            self.register(name, handler)
+
+    def serve_node(self, node: EthereumNode) -> "JsonRpcGateway":
+        """Attach the chain node and expose the ``eth_*`` namespace."""
+        self.eth = EthNamespace(node)
+        self.register_namespace(self.eth.methods())
+        return self
+
+    def serve_ipfs_node(self, node: IpfsNode) -> "JsonRpcGateway":
+        """Expose an IPFS node through the ``ipfs_*`` namespace (idempotent)."""
+        self.ipfs.register_node(node)
+        self.register_namespace(self.ipfs.methods())
+        return self
+
+    def serve_backend(self, backend: Any) -> str:
+        """Mount a buyer backend under ``oflw3_*``; returns its routing key."""
+        key = self.oflw3.register_backend(backend)
+        self.register_namespace(self.oflw3.methods())
+        return key
+
+    def methods(self) -> List[str]:
+        """Sorted names of every registered method."""
+        return sorted(self._methods)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _invoke(self, request: RpcRequest) -> Any:
+        """Innermost stage: bind params, run the handler, normalize errors."""
+        handler = self._methods.get(request.method)
+        if handler is None:
+            raise JsonRpcError(METHOD_NOT_FOUND, f"method {request.method!r} not found")
+        args = request.positional()
+        kwargs = request.named()
+        try:
+            self._signatures[request.method].bind(*args, **kwargs)
+        except TypeError as exc:
+            raise JsonRpcError(
+                INVALID_PARAMS, f"invalid params for {request.method}: {exc}"
+            ) from None
+        try:
+            return handler(*args, **kwargs)
+        except JsonRpcError:
+            raise
+        except ReproError as exc:
+            raise JsonRpcError(
+                SERVER_ERROR, str(exc), data={"error_class": type(exc).__name__}
+            ) from exc
+        except Exception as exc:  # noqa: BLE001 - a buggy handler must not kill the gateway
+            raise JsonRpcError(INTERNAL_ERROR, f"internal error: {exc}") from exc
+
+    def _run(self, request: RpcRequest) -> Any:
+        """Run the middleware chain around :meth:`_invoke`."""
+        if self._pipeline is None:
+            call_next: Callable[[RpcRequest], Any] = self._invoke
+            for layer in reversed(self._middleware):
+                call_next = (lambda req, mw=layer, nxt=call_next: mw(req, nxt))
+            self._pipeline = call_next
+        return self._pipeline(request)
+
+    def _handle_one(self, payload: Any) -> Optional[Dict[str, Any]]:
+        """Process one envelope; returns None for notifications."""
+        try:
+            request = parse_request(payload)
+        except JsonRpcError as exc:
+            request_id = payload.get("id") if isinstance(payload, dict) else None
+            return error_response(request_id, exc.code, exc.message, exc.data)
+        try:
+            result = self._run(request)
+        except JsonRpcError as exc:
+            if request.is_notification:
+                return None
+            return error_response(request.request_id, exc.code, exc.message, exc.data)
+        if request.is_notification:
+            return None
+        return success_response(request.request_id, result)
+
+    def handle(self, payload: Any) -> Union[Dict[str, Any], List[Dict[str, Any]], None]:
+        """Process a single request or a batch (a list of requests).
+
+        Batch semantics follow JSON-RPC 2.0: responses come back in request
+        order (minus notifications), an empty batch is an invalid request,
+        and a batch of only notifications yields ``None``.
+        """
+        if isinstance(payload, list):
+            if not payload:
+                return error_response(None, INVALID_REQUEST, "batch must not be empty")
+            responses = [self._handle_one(entry) for entry in payload]
+            responses = [response for response in responses if response is not None]
+            return responses or None
+        return self._handle_one(payload)
+
+    def handle_raw(self, text: str) -> str:
+        """Text transport: JSON string in, JSON string out ("" for no reply)."""
+        try:
+            payload = json.loads(text)
+        except (TypeError, ValueError) as exc:
+            return json.dumps(error_response(None, PARSE_ERROR, f"parse error: {exc}"))
+        response = self.handle(payload)
+        if response is None:
+            return ""
+        return json.dumps(response, default=str)
+
+    # -- convenience -------------------------------------------------------------
+
+    def call(self, method: str, /, *params: Any, **named: Any) -> Any:
+        """In-process convenience: dispatch one call, returning the raw result.
+
+        Raises :class:`JsonRpcError` on failure -- used by the gateway's own
+        tests; SDK users go through :class:`repro.rpc.client.MarketplaceClient`,
+        which rehydrates library exceptions.
+        """
+        if params and named:
+            raise ValueError("pass positional or named params, not both")
+        request = RpcRequest(
+            method=method,
+            params=(dict(named) if named else list(params)),
+            request_id=0,
+        )
+        return self._run(request)

@@ -1,0 +1,171 @@
+"""Gateway middleware: request metrics, token-bucket rate limiting, allowlists.
+
+A middleware is any callable ``(request, call_next) -> result`` where
+``call_next(request)`` invokes the rest of the chain.  Middleware may raise
+:class:`~repro.rpc.protocol.JsonRpcError` to reject a request; the gateway
+renders it as an error envelope.  The chain runs outermost-first in the order
+the gateway was configured with.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.rpc.protocol import (
+    JsonRpcError,
+    METHOD_NOT_ALLOWED,
+    RATE_LIMITED,
+    RpcRequest,
+)
+
+CallNext = Callable[[RpcRequest], Any]
+
+#: Latency histogram bucket upper bounds in milliseconds (last bucket: +inf).
+LATENCY_BUCKETS_MS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0)
+
+
+class RequestMetrics:
+    """Counts requests per method and error code, and histograms latency.
+
+    Latency is wall-clock handler time (``time.perf_counter``), not simulated
+    time -- it measures the gateway's own cost, which is what the RPC
+    benchmarks track.
+    """
+
+    def __init__(self) -> None:
+        self.requests_total = 0
+        self.errors_total = 0
+        self.by_method: Dict[str, int] = {}
+        self.errors_by_code: Dict[int, int] = {}
+        self.latency_bucket_counts: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
+        self.latency_total_ms = 0.0
+
+    def __call__(self, request: RpcRequest, call_next: CallNext) -> Any:
+        self.requests_total += 1
+        self.by_method[request.method] = self.by_method.get(request.method, 0) + 1
+        started = time.perf_counter()
+        try:
+            return call_next(request)
+        except JsonRpcError as exc:
+            self.errors_total += 1
+            self.errors_by_code[exc.code] = self.errors_by_code.get(exc.code, 0) + 1
+            raise
+        finally:
+            self._observe((time.perf_counter() - started) * 1000.0)
+
+    def _observe(self, elapsed_ms: float) -> None:
+        """Record one request duration in the histogram."""
+        self.latency_total_ms += elapsed_ms
+        for index, bound in enumerate(LATENCY_BUCKETS_MS):
+            if elapsed_ms <= bound:
+                self.latency_bucket_counts[index] += 1
+                return
+        self.latency_bucket_counts[-1] += 1
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Average handler latency in milliseconds."""
+        if self.requests_total == 0:
+            return 0.0
+        return self.latency_total_ms / self.requests_total
+
+    def top_methods(self, count: int = 5) -> List[Any]:
+        """The ``count`` most-called methods as (method, calls) pairs."""
+        ranked = sorted(self.by_method.items(), key=lambda item: (-item[1], item[0]))
+        return ranked[:count]
+
+    def snapshot(self, include_latency: bool = True) -> Dict[str, Any]:
+        """JSON-friendly metrics dump.
+
+        Scenario reports pass ``include_latency=False``: request counts are
+        deterministic across runs, wall-clock latencies are not.
+        """
+        counters: Dict[str, Any] = {
+            "requests_total": self.requests_total,
+            "errors_total": self.errors_total,
+            "by_method": dict(sorted(self.by_method.items())),
+            "errors_by_code": {str(code): n for code, n in sorted(self.errors_by_code.items())},
+        }
+        if include_latency:
+            counters["mean_latency_ms"] = round(self.mean_latency_ms, 4)
+            counters["latency_histogram_ms"] = {
+                **{str(bound): count
+                   for bound, count in zip(LATENCY_BUCKETS_MS, self.latency_bucket_counts)},
+                "+inf": self.latency_bucket_counts[-1],
+            }
+        return counters
+
+
+class TokenBucketRateLimiter:
+    """Classic token bucket: ``rate`` tokens/second refill up to ``capacity``.
+
+    The time source defaults to ``time.monotonic``; pass the simulated
+    clock's ``now`` (e.g. ``lambda: clock.now``) to rate-limit in simulated
+    time, which keeps scenario runs deterministic.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        capacity: Optional[float] = None,
+        time_fn: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.rate = float(rate)
+        # Sub-1 rates are legal slow-refill limiters; the bucket still needs
+        # room for one whole token or no request could ever pass.
+        self.capacity = float(capacity) if capacity is not None else max(float(rate), 1.0)
+        if self.capacity < 1.0:
+            raise ValueError(f"capacity must allow at least one request, got {self.capacity}")
+        self._time_fn = time_fn or time.monotonic
+        self._tokens = self.capacity
+        self._last_refill = self._time_fn()
+        self.rejected_total = 0
+
+    def _refill(self) -> None:
+        now = self._time_fn()
+        elapsed = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+
+    def __call__(self, request: RpcRequest, call_next: CallNext) -> Any:
+        self._refill()
+        if self._tokens < 1.0:
+            self.rejected_total += 1
+            raise JsonRpcError(
+                RATE_LIMITED,
+                f"rate limit exceeded ({self.rate:g} requests/second)",
+                data={"method": request.method},
+            )
+        self._tokens -= 1.0
+        return call_next(request)
+
+
+class MethodAllowlist:
+    """Rejects any method not matching the allowlist.
+
+    Entries are exact method names (``"eth_getBalance"``) or namespace
+    wildcards (``"eth_*"``).
+    """
+
+    def __init__(self, allowed: Iterable[str]) -> None:
+        self._exact = {entry for entry in allowed if not entry.endswith("*")}
+        self._prefixes = tuple(entry[:-1] for entry in allowed if entry.endswith("*"))
+        self.rejected_total = 0
+
+    def permits(self, method: str) -> bool:
+        """Whether ``method`` passes the allowlist."""
+        if method in self._exact:
+            return True
+        return bool(self._prefixes) and method.startswith(self._prefixes)
+
+    def __call__(self, request: RpcRequest, call_next: CallNext) -> Any:
+        if not self.permits(request.method):
+            self.rejected_total += 1
+            raise JsonRpcError(
+                METHOD_NOT_ALLOWED,
+                f"method {request.method} is not allowed on this endpoint",
+            )
+        return call_next(request)

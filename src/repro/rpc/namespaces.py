@@ -1,0 +1,404 @@
+"""Namespaced method registries the gateway serves.
+
+Three namespaces mirror the three backends of the paper's deployment:
+
+* ``eth_*`` (plus the dev-chain ``evm_mine``) over an
+  :class:`~repro.chain.node.EthereumNode` -- the MetaMask/web3-to-node
+  boundary.  Quantities are hex-encoded (``"0x..."``) as on real endpoints;
+  call results and receipts stay JSON-native because the simulated chain's
+  ABI is canonical JSON rather than packed bytes.
+* ``ipfs_*`` over one or many :class:`~repro.ipfs.node.IpfsNode` instances
+  (optionally resolved through a :class:`~repro.ipfs.swarm.Swarm`), the
+  analogue of the IPFS HTTP API.  Payloads travel hex-encoded.
+* ``oflw3_*`` wrapping the buyer backend's REST routes, so the DApp's
+  application calls go through the same metered front door.
+
+Every handler either returns a JSON-serializable value or raises; the
+gateway translates :class:`~repro.errors.ReproError` subclasses into
+``-32000`` responses whose ``data.error_class`` names the original type, so
+in-process clients can rehydrate the exact exception.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.chain.account import Address
+from repro.chain.events import LogFilter
+from repro.chain.node import EthereumNode
+from repro.chain.transaction import Transaction, decode_payload
+from repro.ipfs.node import IpfsNode
+from repro.ipfs.swarm import Swarm
+from repro.rpc.filters import FilterManager
+from repro.rpc.protocol import INVALID_PARAMS, JsonRpcError, SERVER_ERROR, to_quantity
+from repro.utils.encoding import from_hex, to_hex
+
+MethodTable = Dict[str, Callable[..., Any]]
+
+
+# ---------------------------------------------------------------------------
+# eth_* -- the chain namespace
+# ---------------------------------------------------------------------------
+
+
+def _parse_block_tag(node: EthereumNode, tag: Union[str, int, None]) -> int:
+    """Resolve ``"latest"``/``"earliest"``/``"pending"``/number/hex to a height."""
+    if tag is None or tag in ("latest", "pending", "safe", "finalized"):
+        return node.block_number
+    if tag == "earliest":
+        return 0
+    if isinstance(tag, int):
+        return tag
+    if isinstance(tag, str) and tag.startswith(("0x", "0X")):
+        return int(tag, 16)
+    raise JsonRpcError(INVALID_PARAMS, f"unknown block tag {tag!r}")
+
+
+def _log_filter_from_params(criteria: Optional[Dict[str, Any]]) -> Optional[LogFilter]:
+    """Build a :class:`LogFilter` from ``eth_getLogs``-style criteria."""
+    if not criteria:
+        return None
+    if not isinstance(criteria, dict):
+        raise JsonRpcError(INVALID_PARAMS, "log filter criteria must be an object")
+    return LogFilter(
+        address=Address(criteria["address"]) if criteria.get("address") else None,
+        event_name=criteria.get("event"),
+        from_block=int(criteria.get("from_block", 0)),
+        to_block=(int(criteria["to_block"]) if criteria.get("to_block") is not None else None),
+        arg_filters=dict(criteria.get("arg_filters", {})),
+    )
+
+
+class EthNamespace:
+    """``eth_*`` handlers over one node, plus subscription filters."""
+
+    def __init__(self, node: EthereumNode) -> None:
+        self.node = node
+        self.filters = FilterManager(node)
+
+    # -- metadata / accounts -------------------------------------------------
+
+    def chain_id(self) -> str:
+        return to_quantity(self.node.chain_id)
+
+    def block_number(self) -> str:
+        return to_quantity(self.node.block_number)
+
+    def get_balance(self, address: str, block: Union[str, int, None] = "latest") -> str:
+        _parse_block_tag(self.node, block)  # historical state is not kept
+        return to_quantity(self.node.get_balance(address))
+
+    def get_transaction_count(self, address: str,
+                              block: Union[str, int, None] = "latest") -> str:
+        if block == "pending":
+            return to_quantity(self.node.pending_nonce(address))
+        _parse_block_tag(self.node, block)
+        return to_quantity(self.node.get_transaction_count(address))
+
+    def get_code_presence(self, address: str) -> bool:
+        """Whether a contract is deployed at ``address`` (``eth_getCode``-ish)."""
+        return self.node.is_contract(address)
+
+    # -- blocks / transactions -----------------------------------------------
+
+    def get_block_by_number(self, block: Union[str, int, None] = "latest",
+                            full_transactions: bool = False) -> Dict[str, Any]:
+        resolved = self.node.get_block(_parse_block_tag(self.node, block))
+        payload = resolved.to_dict()
+        if not full_transactions:
+            payload["transactions"] = [tx.hash_hex for tx in resolved.transactions]
+        return payload
+
+    def get_transaction_by_hash(self, tx_hash: str) -> Dict[str, Any]:
+        return self.node.get_transaction(tx_hash).to_dict()
+
+    def get_transaction_receipt(self, tx_hash: str) -> Optional[Dict[str, Any]]:
+        if not self.node.chain.has_receipt(tx_hash):
+            return None
+        return self.node.get_receipt(tx_hash).to_dict()
+
+    def send_raw_transaction(self, raw: str) -> str:
+        return self.node.send_transaction(Transaction.deserialize_raw(raw))
+
+    # -- calls / estimation ---------------------------------------------------
+
+    def call(self, call_object: Dict[str, Any],
+             block: Union[str, int, None] = "latest") -> Any:
+        if not isinstance(call_object, dict) or not call_object.get("to"):
+            raise JsonRpcError(INVALID_PARAMS, 'eth_call needs a call object with "to"')
+        _parse_block_tag(self.node, block)
+        payload = decode_payload(from_hex(call_object.get("data") or "0x"))
+        method = payload.get("method")
+        if not method:
+            raise JsonRpcError(INVALID_PARAMS, "eth_call data does not encode a method call")
+        return self.node.call(
+            call_object["to"], method, payload.get("args", []),
+            caller=call_object.get("from"),
+        )
+
+    def estimate_gas(self, transaction: Dict[str, Any]) -> str:
+        if not isinstance(transaction, dict):
+            raise JsonRpcError(INVALID_PARAMS, "eth_estimateGas needs a transaction object")
+        return to_quantity(self.node.estimate_gas(Transaction.from_dict(transaction)))
+
+    # -- logs ------------------------------------------------------------------
+
+    def get_logs(self, criteria: Optional[Dict[str, Any]] = None) -> Any:
+        """Log query; with ``limit``/``cursor`` in the criteria it pages."""
+        criteria = dict(criteria or {})
+        limit = criteria.pop("limit", None)
+        cursor = criteria.pop("cursor", None)
+        log_filter = _log_filter_from_params(criteria)
+        if limit is None and cursor is None:
+            return [log.to_dict() for log in self.node.get_logs(log_filter)]
+        try:
+            page = self.node.get_logs_page(
+                log_filter, limit=int(limit) if limit is not None else None,
+                cursor=cursor,
+            )
+        except (TypeError, ValueError) as exc:
+            # Bad limit/cursor values are the caller's mistake, not ours.
+            raise JsonRpcError(INVALID_PARAMS, str(exc)) from None
+        return page.to_dict()
+
+    # -- filters ---------------------------------------------------------------
+
+    def new_block_filter(self) -> str:
+        return self.filters.new_block_filter()
+
+    def new_pending_transaction_filter(self) -> str:
+        return self.filters.new_pending_transaction_filter()
+
+    def new_filter(self, criteria: Optional[Dict[str, Any]] = None) -> str:
+        return self.filters.new_log_filter(_log_filter_from_params(criteria))
+
+    def get_filter_changes(self, filter_id: str) -> List[Any]:
+        return self.filters.changes(filter_id)
+
+    def get_filter_logs(self, filter_id: str) -> List[Dict[str, Any]]:
+        return self.filters.logs(filter_id)
+
+    def uninstall_filter(self, filter_id: str) -> bool:
+        return self.filters.uninstall(filter_id)
+
+    # -- dev-chain extensions ---------------------------------------------------
+
+    def evm_mine(self, blocks: int = 1) -> List[str]:
+        """Explicitly mine ``blocks`` blocks (anvil/ganache-style helper)."""
+        return [block.hash for block in self.node.mine(int(blocks))]
+
+    def methods(self) -> MethodTable:
+        """The method table this namespace contributes."""
+        return {
+            "eth_chainId": self.chain_id,
+            "eth_blockNumber": self.block_number,
+            "eth_getBalance": self.get_balance,
+            "eth_getTransactionCount": self.get_transaction_count,
+            "eth_getCode": self.get_code_presence,
+            "eth_getBlockByNumber": self.get_block_by_number,
+            "eth_getTransactionByHash": self.get_transaction_by_hash,
+            "eth_getTransactionReceipt": self.get_transaction_receipt,
+            "eth_sendRawTransaction": self.send_raw_transaction,
+            "eth_call": self.call,
+            "eth_estimateGas": self.estimate_gas,
+            "eth_getLogs": self.get_logs,
+            "eth_newBlockFilter": self.new_block_filter,
+            "eth_newPendingTransactionFilter": self.new_pending_transaction_filter,
+            "eth_newFilter": self.new_filter,
+            "eth_getFilterChanges": self.get_filter_changes,
+            "eth_getFilterLogs": self.get_filter_logs,
+            "eth_uninstallFilter": self.uninstall_filter,
+            "evm_mine": self.evm_mine,
+        }
+
+
+# ---------------------------------------------------------------------------
+# ipfs_* -- the storage namespace
+# ---------------------------------------------------------------------------
+
+
+class IpfsNamespace:
+    """``ipfs_*`` handlers over registered nodes and/or a swarm.
+
+    Methods take an optional ``node`` parameter (node name or peer id); when
+    omitted and exactly one node is known, that node serves the request --
+    the single-daemon deployment of the paper's demo.
+    """
+
+    def __init__(self, swarm: Optional[Swarm] = None) -> None:
+        self.swarm = swarm
+        self._nodes: Dict[str, IpfsNode] = {}
+
+    def register_node(self, node: IpfsNode) -> None:
+        """Expose ``node`` through the namespace (idempotent, by name)."""
+        self._nodes[node.name] = node
+
+    def _resolve(self, node: Optional[str]) -> IpfsNode:
+        if node is not None:
+            if node in self._nodes:
+                return self._nodes[node]
+            if self.swarm is not None:
+                for candidate in self.swarm.nodes():
+                    if candidate.name == node or candidate.peer_id == node:
+                        return candidate
+            raise JsonRpcError(INVALID_PARAMS, f"unknown IPFS node {node!r}")
+        candidates = list(self._nodes.values()) or (
+            self.swarm.nodes() if self.swarm is not None else []
+        )
+        if len(candidates) == 1:
+            return candidates[0]
+        if not candidates:
+            raise JsonRpcError(SERVER_ERROR, "no IPFS node attached to this gateway")
+        raise JsonRpcError(
+            INVALID_PARAMS,
+            f'multiple IPFS nodes served; pass "node" (one of '
+            f"{sorted(c.name for c in candidates)})",
+        )
+
+    # -- handlers --------------------------------------------------------------
+
+    def add(self, data: str, node: Optional[str] = None, pin: bool = True) -> Dict[str, Any]:
+        """Add hex-encoded ``data``; returns the CID plus size accounting."""
+        result = self._resolve(node).add_bytes(from_hex(data), pin=bool(pin))
+        return {
+            "cid": result.cid_string,
+            "size": result.size,
+            "num_blocks": result.num_blocks,
+        }
+
+    def cat(self, cid: str, node: Optional[str] = None) -> str:
+        """Return the hex-encoded payload behind ``cid``."""
+        return to_hex(self._resolve(node).cat(cid))
+
+    def pin(self, cid: str, node: Optional[str] = None) -> Dict[str, Any]:
+        self._resolve(node).pin(cid)
+        return {"pinned": cid}
+
+    def stat(self, cid: str, node: Optional[str] = None) -> Dict[str, Any]:
+        return self._resolve(node).stat(cid)
+
+    def methods(self) -> MethodTable:
+        """The method table this namespace contributes."""
+        return {
+            "ipfs_add": self.add,
+            "ipfs_cat": self.cat,
+            "ipfs_pin": self.pin,
+            "ipfs_stat": self.stat,
+        }
+
+
+# ---------------------------------------------------------------------------
+# oflw3_* -- the marketplace application namespace
+# ---------------------------------------------------------------------------
+
+
+class Oflw3Namespace:
+    """``oflw3_*`` handlers wrapping buyer-backend REST routes.
+
+    Several backends (one per concurrent task's buyer) can mount on one
+    gateway; the optional ``backend`` parameter selects one by its buyer
+    wallet address.  Non-2xx REST responses become ``-32000`` errors whose
+    ``data`` carries the HTTP status and ``error_class: "WebError"`` so SDK
+    callers see the same exception the in-process REST client raised.
+    """
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, Any] = {}
+
+    def register_backend(self, backend: Any) -> str:
+        """Mount ``backend`` (keyed by its buyer address); returns the key."""
+        key = backend.wallet.address
+        self._backends[key] = backend
+        return key
+
+    def _resolve(self, backend: Optional[str]) -> Any:
+        if backend is not None:
+            if backend in self._backends:
+                return self._backends[backend]
+            raise JsonRpcError(INVALID_PARAMS, f"unknown backend {backend!r}")
+        if len(self._backends) == 1:
+            return next(iter(self._backends.values()))
+        if not self._backends:
+            raise JsonRpcError(SERVER_ERROR, "no buyer backend attached to this gateway")
+        raise JsonRpcError(
+            INVALID_PARAMS,
+            f'multiple backends served; pass "backend" (one of '
+            f"{sorted(self._backends)})",
+        )
+
+    def _rest(self, backend: Optional[str], method: str, path: str,
+              json_body: Optional[Dict[str, Any]] = None) -> Any:
+        from repro.web.client import RestClient
+
+        response = RestClient(self._resolve(backend).router).request(
+            method, path, json_body=json_body
+        )
+        if not response.ok:
+            body = response.json()
+            message = body.get("error") if isinstance(body, dict) else str(body)
+            error_class = (body.get("error_class") if isinstance(body, dict) else None)
+            raise JsonRpcError(
+                SERVER_ERROR,
+                message or f"{method} {path} failed ({response.status})",
+                data={"http_status": response.status,
+                      "error_class": error_class or "WebError"},
+            )
+        return response.json()
+
+    # -- handlers --------------------------------------------------------------
+
+    def health(self, backend: Optional[str] = None) -> Any:
+        return self._rest(backend, "GET", "/api/health")
+
+    def deploy_task(self, spec: Dict[str, Any], budget_wei: int,
+                    backend: Optional[str] = None) -> Any:
+        return self._rest(backend, "POST", "/api/task",
+                          {"spec": spec, "budget_wei": budget_wei})
+
+    def task(self, address: str, backend: Optional[str] = None) -> Any:
+        return self._rest(backend, "GET", f"/api/task/{address}")
+
+    def task_cids(self, address: str, backend: Optional[str] = None) -> Any:
+        return self._rest(backend, "GET", f"/api/task/{address}/cids")
+
+    def retrieve_models(self, address: str,
+                        num_samples: Optional[Dict[str, int]] = None,
+                        backend: Optional[str] = None) -> Any:
+        return self._rest(backend, "POST", f"/api/task/{address}/retrieve",
+                          {"num_samples": num_samples or {}})
+
+    def aggregate(self, address: str, algorithm: Optional[str] = None,
+                  backend: Optional[str] = None) -> Any:
+        body = {"algorithm": algorithm} if algorithm else {}
+        return self._rest(backend, "POST", f"/api/task/{address}/aggregate", body)
+
+    def compute_incentives(self, address: str, method: str = "leave_one_out",
+                           options: Optional[Dict[str, Any]] = None,
+                           backend: Optional[str] = None) -> Any:
+        body = {"method": method}
+        body.update(options or {})
+        return self._rest(backend, "POST", f"/api/task/{address}/incentives", body)
+
+    def pay_owners(self, address: str, reserve_fraction: float = 0.0,
+                   min_payment_wei: int = 0, backend: Optional[str] = None) -> Any:
+        return self._rest(
+            backend, "POST", f"/api/task/{address}/pay",
+            {"reserve_fraction": reserve_fraction, "min_payment_wei": min_payment_wei},
+        )
+
+    def report(self, address: str, backend: Optional[str] = None) -> Any:
+        return self._rest(backend, "GET", f"/api/task/{address}/report")
+
+    def methods(self) -> MethodTable:
+        """The method table this namespace contributes."""
+        return {
+            "oflw3_health": self.health,
+            "oflw3_deployTask": self.deploy_task,
+            "oflw3_task": self.task,
+            "oflw3_taskCids": self.task_cids,
+            "oflw3_retrieveModels": self.retrieve_models,
+            "oflw3_aggregate": self.aggregate,
+            "oflw3_computeIncentives": self.compute_incentives,
+            "oflw3_payOwners": self.pay_owners,
+            "oflw3_report": self.report,
+        }

@@ -80,6 +80,7 @@ class ScenarioReport:
     network_stats: Optional[Dict[str, Any]] = None
     dropped_submissions: int = 0
     failed_fetch_attempts: int = 0
+    rpc_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -131,6 +132,7 @@ class ScenarioReport:
             "network": self.network_stats,
             "dropped_submissions": self.dropped_submissions,
             "failed_fetch_attempts": self.failed_fetch_attempts,
+            "rpc": self.rpc_stats,
         }
 
     # -- rendering ---------------------------------------------------------------
@@ -162,6 +164,18 @@ class ScenarioReport:
                 f"{net.get('retransmissions', 0)} retransmissions, "
                 f"{self.dropped_submissions} lost submissions, "
                 f"{self.failed_fetch_attempts} failed fetches")
+        if self.rpc_stats is not None:
+            top = ", ".join(
+                f"{method} x{count}"
+                for method, count in sorted(
+                    self.rpc_stats.get("by_method", {}).items(),
+                    key=lambda item: (-item[1], item[0]))[:3])
+            rate_limited = self.rpc_stats.get("rate_limited_total")
+            lines.append(
+                f"rpc:        {self.rpc_stats.get('requests_total', 0)} requests "
+                f"through the gateway, {self.rpc_stats.get('errors_total', 0)} errors"
+                + (f", {rate_limited} rate-limited" if rate_limited else "")
+                + (f" (top: {top})" if top else ""))
         lines.append("")
         header = (f"{'task':<10}{'status':<11}{'adversaries':>12}{'submitted':>11}"
                   f"{'accuracy':>10}{'gas (ETH)':>14}{'duration (s)':>14}")

@@ -34,13 +34,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional, Tuple, Union
 
+from repro.chain.account import Address
 from repro.chain.chain import ChainConfig
 from repro.chain.explorer import Explorer
 from repro.chain.faucet import Faucet
 from repro.chain.node import EthereumNode
+from repro.chain.transaction import Transaction, encode_call
 from repro.contracts.registry import default_registry
 from repro.errors import ReproError, SimulationError
 from repro.ipfs.swarm import Swarm
+from repro.rpc.client import MarketplaceClient
+from repro.rpc.gateway import JsonRpcGateway
+from repro.rpc.middleware import TokenBucketRateLimiter
 from repro.simnet.behaviors import (
     OwnerBehavior,
     adversary_fraction,
@@ -110,6 +115,22 @@ class ScenarioRunner:
         self.faucet = Faucet(self.node)
         self.swarm = Swarm(network=self.ipfs_network, clock=self.clock)
 
+        # One shared JSON-RPC gateway: every task's wallets and facades --
+        # and the runner's own async submitters / receipt pollers -- cross
+        # it, so its metrics see the whole scenario's request traffic.
+        middleware = []
+        self.rate_limiter: Optional[TokenBucketRateLimiter] = None
+        if self.spec.rpc_rate_limit is not None:
+            self.rate_limiter = TokenBucketRateLimiter(
+                rate=self.spec.rpc_rate_limit,
+                capacity=self.spec.rpc_rate_burst,
+                time_fn=lambda: self.clock.now,
+            )
+            middleware.append(self.rate_limiter)
+        self.gateway = JsonRpcGateway(
+            node=self.node, swarm=self.swarm, middleware=middleware)
+        self.rpc = MarketplaceClient(self.gateway)
+
         self.tasks: List[_TaskRuntime] = []
         self._active_tasks = 0
         self._mempool_series: List[Tuple[float, int]] = []
@@ -137,6 +158,7 @@ class ScenarioRunner:
             node=self.node,
             faucet=self.faucet,
             swarm=self.swarm,
+            gateway=self.gateway,
             label_prefix=label_prefix,
             behaviors=behaviors,
         )
@@ -224,21 +246,32 @@ class ScenarioRunner:
         This is what lets transactions from many concurrent tasks pile up in
         the shared mempool: the owner keeps only a lightweight poller while
         the block-producer process drains the queue on the slot cadence.
+
+        The broadcast is an ``eth_sendRawTransaction`` and every poll is an
+        ``eth_getTransactionReceipt`` through the shared gateway, so the
+        scenario's RPC metrics include the polling storm a web3 client would
+        generate.
         """
         session = owner.dapp.session
         if session.cid is None:
             raise SimulationError(f"owner {owner.name} has no CID to submit")
         started = self.clock.now
-        tx_hash = self.node.transact_contract(
-            owner.wallet.keypair, task_address, "uploadCid", [session.cid],
+        keypair = owner.wallet.keypair
+        tx = Transaction(
+            sender=Address(keypair.address),
+            to=Address(task_address),
+            data=encode_call("uploadCid", [session.cid]),
+            nonce=self.rpc.eth.get_transaction_count(keypair.address, "pending"),
+            gas_limit=1_000_000,
             gas_price=owner.wallet.gas_price_wei,
         )
+        tx.sign(keypair)
+        tx_hash = self.rpc.eth.send_transaction(tx)
         activity = WalletActivity(description="Submit model CID",
                                   transaction_hash=tx_hash)
         owner.wallet.activity.append(activity)
-        while not self.node.chain.has_receipt(tx_hash):
+        while (receipt := self.rpc.eth.get_receipt(tx_hash)) is None:
             yield RECEIPT_POLL_SECONDS
-        receipt = self.node.chain.get_receipt(tx_hash)
         # Keep the MetaMask activity log and per-wallet fee accounting
         # identical to the synchronous submit_cid path.
         activity.receipt = receipt
@@ -337,6 +370,11 @@ class ScenarioRunner:
                 for key, value in model.stats.to_dict().items():
                     network_stats[key] = round(network_stats[key] + value, 3)
 
+        rpc_stats = (self.gateway.metrics.snapshot(include_latency=False)
+                     if self.gateway.metrics else None)
+        if rpc_stats is not None and self.rate_limiter is not None:
+            rpc_stats["rate_limited_total"] = self.rate_limiter.rejected_total
+
         return ScenarioReport(
             scenario=self.spec.to_dict(),
             seed=self.seed,
@@ -354,6 +392,7 @@ class ScenarioRunner:
             network_stats=network_stats,
             dropped_submissions=self.node.dropped_submissions,
             failed_fetch_attempts=self.swarm.failed_fetch_attempts,
+            rpc_stats=rpc_stats,
         )
 
     # -- results access ----------------------------------------------------------

@@ -17,6 +17,9 @@ adversarial one task with a configurable fraction of label-flipping
            poisoners (plus optional free-riders)
 concurrent N tasks (default 5) with staggered starts sharing one chain node
            and mempool, asynchronous submissions
+rpc_storm  concurrent tasks whose every chain/IPFS call crosses one shared,
+           metered JSON-RPC gateway (the report carries the gateway's
+           request metrics)
 lossy      one task on a congested WAN (latency, jitter, 15% drops)
 churn      one task with dropouts and stragglers
 stress     everything at once: concurrent tasks, lossy WAN, poisoners,
@@ -59,18 +62,38 @@ class ScenarioSpec:
     (lets the shared mempool actually queue up); the synchronous default is
     the seed's submit-and-wait MetaMask flow."""
 
+    rpc_rate_limit: Optional[float] = None
+    """Requests per *simulated* second admitted by the shared JSON-RPC
+    gateway's token bucket (``None`` disables rate limiting).  Rejected
+    calls surface as :class:`~repro.errors.RateLimitError` to the caller."""
+
+    rpc_rate_burst: Optional[float] = None
+    """Token-bucket capacity (defaults to one second's worth of tokens)."""
+
     def __post_init__(self) -> None:
         if self.num_tasks <= 0:
             raise SimulationError(f"num_tasks must be positive, got {self.num_tasks}")
         if self.task_stagger_seconds < 0:
             raise SimulationError(
                 f"task_stagger_seconds must be non-negative, got {self.task_stagger_seconds}")
+        if self.rpc_rate_limit is not None and self.rpc_rate_limit <= 0:
+            raise SimulationError(
+                f"rpc_rate_limit must be positive, got {self.rpc_rate_limit}")
+        if self.rpc_rate_burst is not None and self.rpc_rate_burst < 1:
+            raise SimulationError(
+                f"rpc_rate_burst must allow at least one request, "
+                f"got {self.rpc_rate_burst}")
+        if self.rpc_rate_burst is not None and self.rpc_rate_limit is None:
+            raise SimulationError(
+                "rpc_rate_burst requires rpc_rate_limit (no limiter is "
+                "installed without a rate)")
 
     @property
     def is_seed_exact(self) -> bool:
         """Whether this spec stays on the seed's exact code path."""
         return (self.num_tasks == 1 and not self.behavior_fractions
-                and self.network_profile == "ideal" and not self.async_submissions)
+                and self.network_profile == "ideal" and not self.async_submissions
+                and self.rpc_rate_limit is None)
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy of this spec with the given fields replaced."""
@@ -85,6 +108,8 @@ class ScenarioSpec:
             "behavior_fractions": dict(self.behavior_fractions),
             "network_profile": self.network_profile,
             "async_submissions": self.async_submissions,
+            "rpc_rate_limit": self.rpc_rate_limit,
+            "rpc_rate_burst": self.rpc_rate_burst,
         }
 
 
@@ -103,6 +128,15 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
         description="many tasks race for one chain node and mempool",
         num_tasks=5,
         task_stagger_seconds=45.0,
+        async_submissions=True,
+    ),
+    "rpc_storm": ScenarioSpec(
+        name="rpc_storm",
+        description="concurrent tasks funnel every chain/IPFS call through "
+                    "one metered JSON-RPC gateway (async submissions + "
+                    "receipt polling drive the request volume)",
+        num_tasks=4,
+        task_stagger_seconds=20.0,
         async_submissions=True,
     ),
     "lossy": ScenarioSpec(

@@ -27,6 +27,8 @@ from repro.data.synthetic_mnist import SyntheticMnistConfig, generate_synthetic_
 from repro.ipfs.node import IpfsNode
 from repro.ipfs.swarm import Swarm
 from repro.ml.trainer import TrainingConfig
+from repro.rpc.client import MarketplaceClient
+from repro.rpc.gateway import JsonRpcGateway
 from repro.system.config import OFLW3Config
 from repro.system.costs import GasCostReport, build_gas_cost_report
 from repro.system.roles import ModelBuyer, ModelOwner
@@ -52,6 +54,7 @@ class MarketplaceEnvironment:
     train_dataset: Dataset
     test_dataset: Dataset
     workflow: OFLW3Workflow
+    gateway: Optional[JsonRpcGateway] = None
 
 
 @dataclass
@@ -160,6 +163,7 @@ def build_environment(
     node: Optional[EthereumNode] = None,
     faucet: Optional[Faucet] = None,
     swarm: Optional[Swarm] = None,
+    gateway: Optional[JsonRpcGateway] = None,
     label_prefix: str = "",
     behaviors: Optional[List[Any]] = None,
 ) -> MarketplaceEnvironment:
@@ -168,10 +172,15 @@ def build_environment(
     With no keyword arguments this builds the seed's single-task world: its
     own chain node, faucet and fully-meshed swarm.  The discrete-event
     scenario runner (``repro.simnet``) instead passes shared infrastructure
-    (one node/faucet/swarm for many concurrent tasks), a ``label_prefix``
-    that keeps wallet key labels and IPFS node names collision-free across
-    tasks, and per-owner ``behaviors`` (archetypes from
-    ``repro.simnet.behaviors``; ``None`` entries are honest owners).
+    (one node/faucet/swarm -- and one JSON-RPC ``gateway`` -- for many
+    concurrent tasks), a ``label_prefix`` that keeps wallet key labels and
+    IPFS node names collision-free across tasks, and per-owner ``behaviors``
+    (archetypes from ``repro.simnet.behaviors``; ``None`` entries are honest
+    owners).
+
+    Every wallet and facade in the environment routes its chain/IPFS/backend
+    access through the one gateway, so all marketplace traffic crosses a
+    single meterable JSON-RPC boundary.
     """
     config = config or OFLW3Config()
     if node is None:
@@ -220,9 +229,17 @@ def build_environment(
     ]
     swarm.connect_all()
 
+    # The one JSON-RPC door to the stack; every wallet/facade gets a client
+    # bound to it (the scenario runner passes one shared gateway instead).
+    if gateway is None:
+        gateway = JsonRpcGateway(node=node, swarm=swarm)
+
     # Wallets, funded by the faucet.
     buyer_keys = KeyPair.from_label(f"{label_prefix}buyer-{config.seed}")
-    buyer_wallet = MetaMaskWallet(buyer_keys, node, gas_price_wei=config.gas_price_wei)
+    buyer_wallet = MetaMaskWallet(
+        buyer_keys, node, gas_price_wei=config.gas_price_wei,
+        rpc=MarketplaceClient(gateway, default_ipfs_node=buyer_ipfs.name),
+    )
     faucet.drip(buyer_keys.address, config.buyer_funding_wei)
 
     buyer = ModelBuyer(
@@ -243,7 +260,10 @@ def build_environment(
     owners: List[ModelOwner] = []
     for index in range(config.num_owners):
         keys = KeyPair.from_label(f"{label_prefix}owner-{index}-{config.seed}")
-        wallet = MetaMaskWallet(keys, node, gas_price_wei=config.gas_price_wei)
+        wallet = MetaMaskWallet(
+            keys, node, gas_price_wei=config.gas_price_wei,
+            rpc=MarketplaceClient(gateway, default_ipfs_node=owner_ipfs_nodes[index].name),
+        )
         faucet.drip(keys.address, config.owner_funding_wei)
         owners.append(
             ModelOwner(
@@ -269,6 +289,7 @@ def build_environment(
         train_dataset=train_dataset,
         test_dataset=test_dataset,
         workflow=workflow,
+        gateway=gateway,
     )
 
 

@@ -21,7 +21,7 @@ Routes
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -37,6 +37,9 @@ from repro.ml.trainer import evaluate_model
 from repro.utils.units import format_ether
 from repro.web.http import HttpRequest, HttpResponse, Router
 from repro.web.wallet import MetaMaskWallet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.rpc.client import MarketplaceClient
 
 
 @dataclass
@@ -62,15 +65,25 @@ class BuyerBackend:
         test_dataset: Dataset,
         aggregator_name: str = "pfnm",
         aggregator_kwargs: Optional[Dict[str, Any]] = None,
+        rpc: Optional["MarketplaceClient"] = None,
     ) -> None:
         self.wallet = wallet
         self.ipfs = ipfs
+        #: The backend's own door to the stack: chain reads go out as
+        #: ``eth_call`` and model retrieval as ``ipfs_cat``, through the same
+        #: gateway the wallet transacts on.
+        self.rpc = (rpc or wallet.rpc).bound_to_ipfs(ipfs)
         self.test_dataset = test_dataset
         self.aggregator_name = aggregator_name
         self.aggregator_kwargs = dict(aggregator_kwargs or {})
         self.tasks: Dict[str, TaskState] = {}
         self.router = Router()
         self._register_routes()
+
+    def _read_contract(self, contract: str, method: str,
+                       args: Optional[list] = None) -> Any:
+        """Gas-free contract read (``eth_call``) on the buyer's behalf."""
+        return self.rpc.eth.call(contract, method, args or [], caller=self.wallet.address)
 
     # -- route registration -------------------------------------------------------
 
@@ -101,7 +114,7 @@ class BuyerBackend:
             {
                 "status": "ok",
                 "buyer_address": self.wallet.address,
-                "chain_id": self.wallet.node.chain_id,
+                "chain_id": self.rpc.eth.chain_id,
                 "ipfs_peer": self.ipfs.peer_id,
                 "tasks": len(self.tasks),
             }
@@ -139,12 +152,12 @@ class BuyerBackend:
         return HttpResponse.json_ok(
             {
                 "contract_address": contract,
-                "spec": self.wallet.read_contract(contract, "spec"),
-                "buyer": self.wallet.read_contract(contract, "buyer"),
-                "budget_wei": self.wallet.read_contract(contract, "budget"),
-                "cid_count": self.wallet.read_contract(contract, "cidCount"),
-                "owners": self.wallet.read_contract(contract, "owners"),
-                "finalized": self.wallet.read_contract(contract, "isFinalized"),
+                "spec": self._read_contract(contract, "spec"),
+                "buyer": self._read_contract(contract, "buyer"),
+                "budget_wei": self._read_contract(contract, "budget"),
+                "cid_count": self._read_contract(contract, "cidCount"),
+                "owners": self._read_contract(contract, "owners"),
+                "finalized": self._read_contract(contract, "isFinalized"),
             }
         )
 
@@ -152,9 +165,9 @@ class BuyerBackend:
         """Step 5: download the CIDs from the contract (gas-free)."""
         task = self._get_task(request)
         contract = task.contract_address
-        cids = self.wallet.read_contract(contract, "getAllCids")
+        cids = self._read_contract(contract, "getAllCids")
         uploaders = [
-            self.wallet.read_contract(contract, "getUploader", [index])
+            self._read_contract(contract, "getUploader", [index])
             for index in range(len(cids))
         ]
         return HttpResponse.json_ok({"cids": cids, "uploaders": uploaders})
@@ -163,13 +176,13 @@ class BuyerBackend:
         """Step 6: fetch every submitted model from IPFS and deserialize it."""
         task = self._get_task(request)
         contract = task.contract_address
-        cids = self.wallet.read_contract(contract, "getAllCids")
+        cids = self._read_contract(contract, "getAllCids")
         task.updates = []
         task.uploaders = []
         sizes = []
         for index, cid in enumerate(cids):
-            uploader = self.wallet.read_contract(contract, "getUploader", [index])
-            payload = self.ipfs.cat(cid)
+            uploader = self._read_contract(contract, "getUploader", [index])
+            payload = self.rpc.ipfs.cat(cid)
             sizes.append(len(payload))
             # num_samples metadata is not on-chain; default to 1 (equal weight)
             # unless the caller supplies a mapping in the request body.
@@ -248,7 +261,7 @@ class BuyerBackend:
         if task.contribution is None:
             raise WebError("no contribution report yet; POST .../incentives first")
         contract = task.contract_address
-        budget_wei = int(self.wallet.read_contract(contract, "budget"))
+        budget_wei = int(self._read_contract(contract, "budget"))
         body = request.json_body or {}
         plan = allocate_budget(
             task.contribution,

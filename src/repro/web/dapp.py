@@ -14,8 +14,8 @@ surface programmatically:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.errors import WorkflowError
 from repro.data.dataset import Dataset
@@ -26,6 +26,9 @@ from repro.utils.units import format_ether
 from repro.web.backend import BuyerBackend
 from repro.web.client import RestClient
 from repro.web.wallet import MetaMaskWallet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.rpc.client import MarketplaceClient
 
 
 @dataclass
@@ -39,11 +42,18 @@ class OwnerSession:
 
 
 class OwnerDApp:
-    """The model-owner interface (Fig. 3a)."""
+    """The model-owner interface (Fig. 3a).
 
-    def __init__(self, wallet: MetaMaskWallet, ipfs: IpfsNode) -> None:
+    All stack access -- chain transactions via the wallet, model uploads via
+    ``ipfs_add`` -- goes through the wallet's :class:`MarketplaceClient`, so
+    the JSON-RPC gateway is the one door for every button.
+    """
+
+    def __init__(self, wallet: MetaMaskWallet, ipfs: IpfsNode,
+                 rpc: Optional["MarketplaceClient"] = None) -> None:
         self.wallet = wallet
         self.ipfs = ipfs
+        self.rpc = (rpc or wallet.rpc).bound_to_ipfs(ipfs)
         self.session = OwnerSession()
 
     # -- buttons -------------------------------------------------------------------
@@ -90,10 +100,10 @@ class OwnerDApp:
         if self.session.local_result is None:
             raise WorkflowError("train a local model before uploading")
         payload = self.session.local_result.update.to_payload()
-        added = self.ipfs.add_bytes(payload)
-        self.session.cid = added.cid_string
-        return {"cid": added.cid_string, "payload_bytes": added.size,
-                "ipfs_blocks": added.num_blocks}
+        added = self.rpc.ipfs.add(payload)
+        self.session.cid = added["cid"]
+        return {"cid": added["cid"], "payload_bytes": added["size"],
+                "ipfs_blocks": added["num_blocks"]}
 
     def submit_cid(self) -> Dict[str, Any]:
         """Step 4: publish the CID on the task contract (a paid transaction)."""
@@ -127,63 +137,63 @@ class OwnerDApp:
 
 
 class BuyerDApp:
-    """The model-buyer interface (Fig. 3b), backed by the Flask-like service."""
+    """The model-buyer interface (Fig. 3b), backed by the Flask-like service.
 
-    def __init__(self, backend: BuyerBackend) -> None:
+    Buttons speak ``oflw3_*`` JSON-RPC (the gateway wraps the backend's REST
+    routes), so the buyer's application calls cross the same metered boundary
+    as every chain and IPFS interaction.  ``self.client`` keeps the direct
+    REST client around for callers that poke routes by path.
+    """
+
+    def __init__(self, backend: BuyerBackend,
+                 rpc: Optional["MarketplaceClient"] = None) -> None:
         self.backend = backend
         self.client = RestClient(backend.router)
+        self.rpc = (rpc or backend.wallet.rpc).bound_to_backend(backend)
         self.task_address: Optional[str] = None
 
     # -- buttons -------------------------------------------------------------------
 
     def deploy_task(self, spec: Dict[str, Any], budget_wei: int) -> Dict[str, Any]:
         """Step 1: design and deploy the task contract with its escrow."""
-        result = self.client.post_json("/api/task", {"spec": spec, "budget_wei": budget_wei})
+        result = self.rpc.oflw3.deploy_task(spec, budget_wei)
         self.task_address = result["contract_address"]
         return result
 
     def task_status(self) -> Dict[str, Any]:
         """Live view of the task contract (owners registered, CIDs submitted)."""
         self._require_task()
-        return self.client.get_json(f"/api/task/{self.task_address}")
+        return self.rpc.oflw3.task(self.task_address)
 
     def download_cids(self) -> Dict[str, Any]:
         """Step 5: list the CIDs recorded on-chain (gas-free)."""
         self._require_task()
-        return self.client.get_json(f"/api/task/{self.task_address}/cids")
+        return self.rpc.oflw3.task_cids(self.task_address)
 
     def retrieve_models(self, num_samples: Optional[Dict[str, int]] = None) -> Dict[str, Any]:
         """Step 6: pull every model from IPFS onto the backend workstation."""
         self._require_task()
-        return self.client.post_json(
-            f"/api/task/{self.task_address}/retrieve", {"num_samples": num_samples or {}}
-        )
+        return self.rpc.oflw3.retrieve_models(self.task_address, num_samples)
 
     def aggregate(self, algorithm: Optional[str] = None) -> Dict[str, Any]:
         """Step 7a: run the one-shot FL aggregation on the backend."""
         self._require_task()
-        body = {"algorithm": algorithm} if algorithm else {}
-        return self.client.post_json(f"/api/task/{self.task_address}/aggregate", body)
+        return self.rpc.oflw3.aggregate(self.task_address, algorithm)
 
     def compute_incentives(self, method: str = "leave_one_out", **kwargs) -> Dict[str, Any]:
         """Step 7b: measure each owner's contribution."""
         self._require_task()
-        body = {"method": method}
-        body.update(kwargs)
-        return self.client.post_json(f"/api/task/{self.task_address}/incentives", body)
+        return self.rpc.oflw3.compute_incentives(self.task_address, method, **kwargs)
 
     def pay_owners(self, reserve_fraction: float = 0.0, min_payment_wei: int = 0) -> Dict[str, Any]:
         """Step 7c: execute the on-chain payments."""
         self._require_task()
-        return self.client.post_json(
-            f"/api/task/{self.task_address}/pay",
-            {"reserve_fraction": reserve_fraction, "min_payment_wei": min_payment_wei},
-        )
+        return self.rpc.oflw3.pay_owners(self.task_address, reserve_fraction, min_payment_wei)
 
     def results(self) -> Dict[str, Any]:
         """Consolidated report for the results screen."""
         self._require_task()
-        return self.client.get_json(f"/api/task/{self.task_address}/report")
+        return self.rpc.oflw3.report(self.task_address)
 
     def _require_task(self) -> None:
         """Guard used by buttons that need a deployed task."""

@@ -123,7 +123,11 @@ class Router:
             try:
                 return handler(request)
             except WebError as exc:
-                return HttpResponse.error(str(exc), status=400)
+                response = HttpResponse.error(str(exc), status=400)
+                # Carry the concrete class so RPC/SDK layers on top can
+                # rehydrate the original exception (e.g. WalletError).
+                response.body["error_class"] = type(exc).__name__
+                return response
             except Exception as exc:  # noqa: BLE001 - surface as a 500 response
                 return HttpResponse.error(f"internal error: {exc}", status=500)
         raise RouteNotFoundError(f"no route for {request.method} {request.path}")

@@ -5,18 +5,22 @@ MetaMask: the DApp proposes a transaction, MetaMask shows a confirmation
 dialog with the estimated gas fee, the user approves, and the signed
 transaction is broadcast.  :class:`MetaMaskWallet` reproduces that flow:
 
-* it holds the account's key pair and talks to an :class:`EthereumNode`;
+* it holds the account's key pair and talks to the chain exclusively through
+  a :class:`~repro.rpc.client.MarketplaceClient` (the JSON-RPC boundary a
+  real MetaMask crosses on every operation);
 * :meth:`preview` estimates gas and renders the "confirmation screen" data
   (Fig. 5a of the paper);
 * a configurable *confirmation policy* stands in for the human clicking
   "Confirm" or "Reject";
-* approved transactions are signed, broadcast, and (optionally) awaited.
+* approved transactions are signed, serialized and broadcast with
+  ``eth_sendRawTransaction``, then awaited by polling
+  ``eth_getTransactionReceipt``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, TYPE_CHECKING
 
 from repro.errors import WalletError
 from repro.chain.account import Address
@@ -25,6 +29,9 @@ from repro.chain.node import EthereumNode
 from repro.chain.receipts import TransactionReceipt
 from repro.chain.transaction import Transaction, encode_call, encode_create
 from repro.utils.units import format_ether, gwei_to_wei
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.rpc.client import MarketplaceClient
 
 ConfirmationPolicy = Callable[["TransactionPreview"], bool]
 
@@ -92,9 +99,19 @@ class MetaMaskWallet:
         node: EthereumNode,
         gas_price_wei: Optional[int] = None,
         confirmation_policy: ConfirmationPolicy = approve_all,
+        rpc: Optional["MarketplaceClient"] = None,
     ) -> None:
         self.keypair = keypair
+        #: Kept for infrastructure access (the simulated clock, tests); all
+        #: chain *interaction* goes through :attr:`rpc`.
         self.node = node
+        if rpc is None:
+            # Imported lazily: repro.rpc imports the web package at module
+            # load, so a module-level import here would cycle.
+            from repro.rpc.client import MarketplaceClient
+
+            rpc = MarketplaceClient.for_node(node)
+        self.rpc = rpc
         self.gas_price_wei = gas_price_wei if gas_price_wei is not None else gwei_to_wei(1)
         self.confirmation_policy = confirmation_policy
         self.activity: List[WalletActivity] = []
@@ -107,8 +124,8 @@ class MetaMaskWallet:
         return self.keypair.address
 
     def balance_wei(self) -> int:
-        """Current on-chain balance in wei."""
-        return self.node.get_balance(self.address)
+        """Current on-chain balance in wei (an ``eth_getBalance`` call)."""
+        return self.rpc.eth.get_balance(self.address)
 
     def balance_eth(self) -> str:
         """Current balance formatted in ETH."""
@@ -124,7 +141,7 @@ class MetaMaskWallet:
             to=Address(to) if to is not None else None,
             value=value,
             data=data,
-            nonce=self.node.pending_nonce(self.address),
+            nonce=self.rpc.eth.get_transaction_count(self.address, "pending"),
             gas_limit=gas_limit,
             gas_price=self.gas_price_wei,
         )
@@ -134,7 +151,7 @@ class MetaMaskWallet:
         """Estimate gas and build the confirmation-screen preview."""
         tx = self._build_transaction(to, value, data, gas_limit)
         tx.sign(self.keypair)
-        estimated = self.node.estimate_gas(tx)
+        estimated = self.rpc.eth.estimate_gas(tx)
         return TransactionPreview(
             description=description,
             sender=self.address,
@@ -153,10 +170,10 @@ class MetaMaskWallet:
         gas_limit = max(int(preview.estimated_gas * 1.2), 21_000)
         tx = self._build_transaction(to, value, data, gas_limit)
         tx.sign(self.keypair)
-        tx_hash = self.node.send_transaction(tx)
+        tx_hash = self.rpc.eth.send_transaction(tx)
         activity = WalletActivity(description=description, transaction_hash=tx_hash)
         self.activity.append(activity)
-        receipt = self.node.wait_for_receipt(tx_hash)
+        receipt = self.rpc.eth.wait_for_receipt(tx_hash)
         activity.receipt = receipt
         return receipt
 
@@ -188,7 +205,7 @@ class MetaMaskWallet:
     def read_contract(self, contract_address: str, method: str,
                       args: Optional[List[Any]] = None) -> Any:
         """Gas-free read-only call (Step 5: downloading CIDs)."""
-        return self.node.call(contract_address, method, args or [], caller=self.address)
+        return self.rpc.eth.call(contract_address, method, args or [], caller=self.address)
 
     # -- reporting ---------------------------------------------------------------------
 

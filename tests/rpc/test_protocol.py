@@ -1,0 +1,89 @@
+"""Tests for repro.rpc.protocol (envelope parsing and error codes)."""
+
+import pytest
+
+from repro.rpc.protocol import (
+    INVALID_REQUEST,
+    JsonRpcError,
+    RpcRequest,
+    error_response,
+    from_quantity,
+    make_request,
+    parse_request,
+    success_response,
+    to_quantity,
+)
+
+
+class TestParseRequest:
+    def test_valid_request_with_positional_params(self):
+        request = parse_request(
+            {"jsonrpc": "2.0", "id": 7, "method": "eth_getBalance", "params": ["0xabc"]}
+        )
+        assert request.method == "eth_getBalance"
+        assert request.positional() == ["0xabc"]
+        assert request.request_id == 7
+        assert not request.is_notification
+
+    def test_named_params(self):
+        request = parse_request(
+            {"jsonrpc": "2.0", "id": 1, "method": "m", "params": {"a": 1}}
+        )
+        assert request.named() == {"a": 1}
+        assert request.positional() == []
+
+    def test_notification_has_no_id(self):
+        request = parse_request({"jsonrpc": "2.0", "method": "m"})
+        assert request.is_notification
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not an object",
+            42,
+            {"method": "m"},  # missing jsonrpc
+            {"jsonrpc": "1.0", "method": "m"},
+            {"jsonrpc": "2.0"},  # missing method
+            {"jsonrpc": "2.0", "method": ""},
+            {"jsonrpc": "2.0", "method": 5},
+            {"jsonrpc": "2.0", "method": "m", "params": "scalar"},
+            {"jsonrpc": "2.0", "method": "m", "id": {"obj": 1}},
+        ],
+    )
+    def test_malformed_envelopes_are_invalid_requests(self, payload):
+        with pytest.raises(JsonRpcError) as excinfo:
+            parse_request(payload)
+        assert excinfo.value.code == INVALID_REQUEST
+
+
+class TestEnvelopes:
+    def test_success_response_shape(self):
+        assert success_response(3, "ok") == {"jsonrpc": "2.0", "id": 3, "result": "ok"}
+
+    def test_error_response_shape(self):
+        response = error_response(None, -32601, "nope", data={"x": 1})
+        assert response["id"] is None
+        assert response["error"] == {"code": -32601, "message": "nope", "data": {"x": 1}}
+
+    def test_make_request_round_trips_through_parse(self):
+        envelope = make_request("eth_call", [{"to": "0xabc"}], request_id=9)
+        request = parse_request(envelope)
+        assert request.method == "eth_call"
+        assert request.request_id == 9
+
+    def test_request_to_dict_round_trip(self):
+        request = RpcRequest(method="m", params=[1, 2], request_id=4)
+        assert parse_request(request.to_dict()).positional() == [1, 2]
+
+
+class TestQuantities:
+    def test_round_trip(self):
+        assert from_quantity(to_quantity(11155111)) == 11155111
+        assert to_quantity(0) == "0x0"
+
+    def test_integers_pass_through(self):
+        assert from_quantity(42) == 42
+
+    def test_rejects_non_hex(self):
+        with pytest.raises(ValueError):
+            from_quantity("123")

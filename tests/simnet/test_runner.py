@@ -161,3 +161,55 @@ class TestRunnerMechanics:
         import json
 
         json.dumps(payload)  # JSON-safe end to end
+
+
+class TestRpcGatewayScenarios:
+    """The shared JSON-RPC gateway is the one door for every scenario."""
+
+    @pytest.fixture(scope="class")
+    def storm_report(self):
+        return run_scenario("rpc_storm", config=tiny_config(),
+                            num_tasks=3, task_stagger_seconds=15.0)
+
+    def test_rpc_storm_completes_and_meters_all_traffic(self, storm_report):
+        report = storm_report
+        assert report.tasks_completed == 3
+        stats = report.rpc_stats
+        assert stats is not None
+        assert stats["errors_total"] == 0
+        # Chain writes, reads, receipt polling, IPFS and the oflw3 app calls
+        # all crossed the shared gateway.
+        for method in ("eth_sendRawTransaction", "eth_call",
+                       "eth_getTransactionReceipt", "ipfs_add", "ipfs_cat",
+                       "oflw3_deployTask", "oflw3_aggregate"):
+            assert stats["by_method"].get(method, 0) > 0, method
+        # Async submissions poll for receipts, so reads dominate writes.
+        assert (stats["by_method"]["eth_getTransactionReceipt"]
+                > stats["by_method"]["eth_sendRawTransaction"])
+
+    def test_rpc_storm_report_renders_and_serializes(self, storm_report):
+        import json
+
+        assert "rpc:" in storm_report.summary()
+        json.dumps(storm_report.to_dict())  # JSON-safe end to end
+
+    def test_ideal_scenario_also_reports_gateway_metrics(self):
+        report = run_scenario("ideal", config=tiny_config())
+        assert report.rpc_stats is not None
+        assert report.rpc_stats["requests_total"] > 0
+        assert report.to_dict()["rpc"]["requests_total"] > 0
+
+    def test_rate_limited_gateway_rejects_and_fails_tasks(self):
+        # Clock time barely moves during the buyer's burst of setup calls, so
+        # a tiny bucket empties and the deployment fails loudly.
+        report = run_scenario("ideal", config=tiny_config(),
+                              rpc_rate_limit=0.001, rpc_rate_burst=3.0)
+        assert report.tasks_failed == 1
+        assert report.rpc_stats["rate_limited_total"] > 0
+        assert "-32005" in report.rpc_stats["errors_by_code"]
+
+    def test_generous_rate_limit_is_harmless(self):
+        report = run_scenario("ideal", config=tiny_config(),
+                              rpc_rate_limit=10_000.0)
+        assert report.tasks_completed == 1
+        assert report.rpc_stats["rate_limited_total"] == 0

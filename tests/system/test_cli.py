@@ -113,3 +113,41 @@ class TestModelQualityCommand:
         output = capsys.readouterr().out
         assert "aggregate (pfnm)" in output
         assert "least useful owner" in output
+
+
+class TestRpcCommand:
+    def test_list_methods(self, capsys):
+        assert main(["rpc", "--list"]) == 0
+        output = capsys.readouterr().out
+        for method in ("eth_blockNumber", "eth_sendRawTransaction",
+                       "eth_getFilterChanges", "evm_mine"):
+            assert method in output
+
+    def test_single_call_prints_json(self, capsys):
+        assert main(["rpc", "eth_chainId"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == "0xaa36a7"
+
+    def test_error_response_sets_exit_code(self, capsys):
+        assert main(["rpc", "eth_noSuchMethod"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["error"]["code"] == -32601
+
+    def test_batch_flag(self, capsys):
+        batch = ('[{"jsonrpc": "2.0", "id": 1, "method": "eth_chainId"},'
+                 ' {"jsonrpc": "2.0", "id": 2, "method": "eth_blockNumber"}]')
+        assert main(["rpc", "--batch", batch]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["id"] for entry in payload] == [1, 2]
+
+    def test_invalid_batch_json_rejected(self, capsys):
+        assert main(["rpc", "--batch", "{nope"]) == 2
+
+    def test_missing_method_rejected(self, capsys):
+        assert main(["rpc"]) == 2
+
+    def test_params_parsed_as_json_with_string_fallback(self, capsys):
+        address = "0x" + "11" * 20
+        assert main(["rpc", "eth_getBalance", address, '"latest"']) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"] == "0x0"
