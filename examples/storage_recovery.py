@@ -1,0 +1,93 @@
+"""Durability walkthrough: persist a marketplace run, kill it, recover it.
+
+The seed reproduction held every byte in Python dictionaries -- perfect for
+determinism, useless for durability.  ``repro.storage`` adds the missing
+floor.  This example:
+
+1. runs a tiny marketplace with a **log-backed storage engine** (every
+   faucet mint, transaction and block write-ahead logged; chain state
+   snapshotted periodically; IPFS blocks in on-disk blob spaces);
+2. simulates a ``kill -9`` by discarding the whole in-memory world;
+3. **recovers** a node purely from the store directory and proves it
+   reached the identical chain head hash and state digest;
+4. keeps using the recovered node (block production resumes);
+5. shows the same thing end to end inside a discrete-event scenario: the
+   ``restart`` scenario kills the shared chain node mid-task and still
+   reproduces the exact figures of an uninterrupted run.
+
+Run with::
+
+    PYTHONPATH=src python examples/storage_recovery.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.chain import Faucet, KeyPair
+from repro.contracts import default_registry
+from repro.simnet import run_scenario
+from repro.storage import StorageConfig, recover_node, state_digest
+from repro.system import build_environment, quick_config, run_marketplace
+from repro.utils.units import ether_to_wei
+
+
+def main() -> None:
+    config = quick_config(num_owners=2, num_samples=400, local_epochs=1)
+    directory = Path(tempfile.mkdtemp(prefix="oflw3-store-"))
+
+    print("=" * 78)
+    print(f"1. run the marketplace with a log-backed store at {directory}")
+    print("=" * 78)
+    env = build_environment(
+        config,
+        storage=StorageConfig(backend="log", directory=str(directory),
+                              snapshot_interval_blocks=4),
+    )
+    report = run_marketplace(environment=env)
+    head = env.node.chain.latest_block.hash
+    digest = state_digest(env.node.chain.state)
+    print(f"aggregate accuracy: {report.aggregate_accuracy:.4f}")
+    print(f"chain head:         {head}")
+    print(f"state digest:       {digest}")
+    print(f"WAL entries live:   {env.storage.wal.counts_by_kind()}")
+    print(f"snapshot pointer:   {env.storage.snapshots.latest_pointer()}")
+    env.storage.close()
+
+    print()
+    print("=" * 78)
+    print("2. kill -9: the in-memory world is gone; recover from the store")
+    print("=" * 78)
+    node = recover_node(StorageConfig(backend="log", directory=str(directory)),
+                        backend=default_registry())
+    recovered_head = node.chain.latest_block.hash
+    recovered_digest = state_digest(node.chain.state)
+    print(f"recovered head:     {recovered_head}")
+    print(f"recovered digest:   {recovered_digest}")
+    assert recovered_head == head, "recovery must reach the identical head"
+    assert recovered_digest == digest, "recovery must rebuild identical state"
+    print("head hash and state digest identical -- recovery is exact.")
+
+    print()
+    print("=" * 78)
+    print("3. the recovered node keeps working")
+    print("=" * 78)
+    keys = KeyPair.from_label("post-recovery")
+    Faucet(node).drip(keys.address, ether_to_wei(1))
+    receipt = node.wait_for_receipt(
+        node.sign_and_send(keys, to="0x" + "42" * 20, value=1234))
+    print(f"post-recovery transfer mined in block {receipt.block_number} "
+          f"(height {node.chain.height})")
+    node.storage.close()
+
+    print()
+    print("=" * 78)
+    print("4. the restart scenario: crash + recovery mid-task, same figures")
+    print("=" * 78)
+    print(run_scenario("restart", config=config,
+                       node_restart_at_seconds=42.0).summary())
+
+
+if __name__ == "__main__":
+    main()

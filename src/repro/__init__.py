@@ -29,6 +29,16 @@ Python/NumPy:
 ``repro.web``
     A Flask-like backend, a MetaMask-like wallet simulator, and DApp
     facades for the buyer and owner interfaces.
+``repro.rpc``
+    A versioned JSON-RPC 2.0 gateway (the one metered door to the stack)
+    and the typed ``MarketplaceClient`` SDK.
+``repro.storage``
+    The durable, pluggable storage engine: write-ahead log, periodic
+    chain-state snapshots with replay-based crash recovery, blob spaces for
+    IPFS payloads, and a shared LRU read cache.
+``repro.simnet``
+    A discrete-event scenario simulator: concurrent tasks, adversarial
+    owner populations, lossy networks, node crash/recovery.
 ``repro.system``
     The OFL-W3 workflow (Steps 1-7 of the paper), roles, timing model and
     the experiment orchestrator.

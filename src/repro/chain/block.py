@@ -101,6 +101,19 @@ class Block:
             "receipts": [receipt.to_dict() for receipt in self.receipts],
         }
 
+    def to_record(self) -> dict:
+        """Self-contained persistence record with *full* transactions.
+
+        Unlike :meth:`to_dict` (the node-API shape, transactions by hash),
+        the record carries every signed transaction payload so the storage
+        layer can re-execute the block during crash recovery.
+        """
+        return {
+            "header": self.header.to_dict(),
+            "transactions": [tx.to_dict() for tx in self.transactions],
+            "receipts": [receipt.to_dict() for receipt in self.receipts],
+        }
+
 
 def compute_transactions_root(transactions: List[Transaction]) -> str:
     """A Merkle-ish commitment to the ordered transaction list."""
@@ -112,6 +125,31 @@ def compute_receipts_root(receipts: List[TransactionReceipt]) -> str:
     return to_hex(hash_json([
         {"tx": r.transaction_hash, "status": r.status, "gas": r.gas_used} for r in receipts
     ]))
+
+
+def block_from_record(record: dict) -> Block:
+    """Rebuild a :class:`Block` from :meth:`Block.to_record` output.
+
+    The header hash is always recomputed from the reconstructed fields;
+    callers compare it to the recorded hash to detect tampering or drift.
+    """
+    header_payload = record["header"]
+    header = BlockHeader(
+        number=int(header_payload["number"]),
+        parent_hash=header_payload["parent_hash"],
+        timestamp=float(header_payload["timestamp"]),
+        proposer=Address(header_payload["proposer"]),
+        gas_used=int(header_payload.get("gas_used", 0)),
+        gas_limit=int(header_payload.get("gas_limit", 30_000_000)),
+        transactions_root=header_payload.get("transactions_root", "0x" + "00" * 32),
+        receipts_root=header_payload.get("receipts_root", "0x" + "00" * 32),
+        extra_data=header_payload.get("extra_data", ""),
+    )
+    return Block(
+        header=header,
+        transactions=[Transaction.from_dict(p) for p in record.get("transactions", [])],
+        receipts=[TransactionReceipt.from_dict(p) for p in record.get("receipts", [])],
+    )
 
 
 def make_genesis_block(proposer: Optional[Address] = None, timestamp: float = 0.0) -> Block:

@@ -3,13 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Protocol
 
 from repro.errors import BlockValidationError, UnknownBlockError, UnknownTransactionError
 from repro.chain.account import Address
 from repro.chain.block import (
     Block,
     BlockHeader,
+    block_from_record,
     compute_receipts_root,
     compute_transactions_root,
     make_genesis_block,
@@ -36,6 +37,27 @@ class ChainConfig:
     schedule: GasSchedule = field(default_factory=GasSchedule)
 
 
+class ChainStoreHooks(Protocol):
+    """What the chain requires of a ``repro.storage`` chain store.
+
+    The chain package deliberately does not import ``repro.storage`` (the
+    storage package imports the chain for recovery); any object with these
+    methods can observe the chain's durable mutations.
+    """
+
+    def attach(self, chain: "Blockchain") -> Any:
+        """Bind the chain and persist its static parameters."""
+
+    def record_mint(self, address: str, amount_wei: int) -> None:
+        """A faucet credit took effect."""
+
+    def record_transaction(self, tx: Transaction) -> None:
+        """A transaction was accepted into the mempool."""
+
+    def record_block(self, block: Block) -> None:
+        """A block was appended to the canonical chain."""
+
+
 class Blockchain:
     """Canonical chain: genesis, state, mempool and block production.
 
@@ -51,23 +73,36 @@ class Blockchain:
         backend: Optional[ContractBackend] = None,
         clock: Optional[SimulatedClock] = None,
         validators: Optional[List[Address]] = None,
+        genesis_timestamp: Optional[float] = None,
+        store: Optional["ChainStoreHooks"] = None,
     ) -> None:
         self.config = config or ChainConfig()
         self.clock = clock or SimulatedClock()
         self.state = WorldState()
         self.mempool = Mempool()
+        #: Genesis anchor for slot arithmetic.  Defaults to "now", but crash
+        #: recovery (``repro.storage``) passes the recorded original so a
+        #: rebuilt chain keeps the same slot boundaries as the dead one.
+        self.genesis_timestamp = (
+            float(genesis_timestamp) if genesis_timestamp is not None else self.clock.now
+        )
         self.consensus = ProofOfAuthority(
             validators=validators or [],
             slot_seconds=self.config.slot_seconds,
-            genesis_timestamp=self.clock.now,
+            genesis_timestamp=self.genesis_timestamp,
         )
         self.executor = TransactionExecutor(backend=backend, schedule=self.config.schedule)
-        genesis = make_genesis_block(timestamp=self.clock.now)
+        genesis = make_genesis_block(timestamp=self.genesis_timestamp)
         self._blocks: List[Block] = [genesis]
         self._blocks_by_hash: Dict[str, Block] = {genesis.hash: genesis}
         self._receipts: Dict[str, TransactionReceipt] = {}
         self._transactions: Dict[str, Transaction] = {}
         self._logs: List[EventLog] = []
+        #: Optional ``repro.storage`` write hooks (WAL + snapshots).  ``None``
+        #: -- the seed default -- keeps the chain purely in-process.
+        self.store = store
+        if store is not None:
+            store.attach(self)
 
     # -- chain accessors -----------------------------------------------------
 
@@ -162,7 +197,21 @@ class Blockchain:
     def submit_transaction(self, tx: Transaction) -> str:
         """Validate and queue a signed transaction; returns its hash."""
         self.executor.validate(tx, self.state, check_nonce=False)
-        return self.mempool.add(tx)
+        tx_hash = self.mempool.add(tx)
+        if self.store is not None:
+            self.store.record_transaction(tx)
+        return tx_hash
+
+    def mint(self, address: Address | str, amount_wei: int) -> None:
+        """Credit ``amount_wei`` out of thin air (the faucet's privilege).
+
+        This is the only state mutation that happens outside a transaction,
+        so it gets its own write-ahead-log entry -- otherwise a recovered
+        chain would be missing every faucet drip.
+        """
+        self.state.credit(Address(address), amount_wei)
+        if self.store is not None:
+            self.store.record_mint(str(Address(address)), int(amount_wei))
 
     # -- block production ----------------------------------------------------
 
@@ -186,19 +235,8 @@ class Blockchain:
             coinbase=proposer,
             gas_price=0,
         )
-
-        included: List[Transaction] = []
-        receipts: List[TransactionReceipt] = []
-        cumulative_gas = 0
-        for tx in candidates:
-            block_ctx.gas_price = tx.gas_price
-            receipt = self.executor.apply(tx, self.state, block_ctx)
-            cumulative_gas += receipt.gas_used
-            receipt.cumulative_gas_used = cumulative_gas
-            receipt.transaction_index = len(included)
-            included.append(tx)
-            receipts.append(receipt)
-            self.mempool.remove(tx.hash_hex)
+        included, receipts, cumulative_gas = self._execute_transactions(
+            candidates, block_ctx)
 
         header = BlockHeader(
             number=self.height + 1,
@@ -211,6 +249,90 @@ class Blockchain:
             receipts_root=compute_receipts_root(receipts),
         )
         block = Block(header=header, transactions=included, receipts=receipts)
+        self._append_block(block)
+        return block
+
+    def _execute_transactions(self, transactions, block_ctx: BlockContext):
+        """Execute an ordered transaction list against current state.
+
+        The ONE state-transition loop: block production and write-ahead-log
+        replay (:meth:`replay_block`) both run through it, which is what
+        makes "a replayed block hashes identically" a structural guarantee
+        rather than two hand-synchronized code paths.
+        """
+        included: List[Transaction] = []
+        receipts: List[TransactionReceipt] = []
+        cumulative_gas = 0
+        for tx in transactions:
+            block_ctx.gas_price = tx.gas_price
+            receipt = self.executor.apply(tx, self.state, block_ctx)
+            cumulative_gas += receipt.gas_used
+            receipt.cumulative_gas_used = cumulative_gas
+            receipt.transaction_index = len(included)
+            included.append(tx)
+            receipts.append(receipt)
+            self.mempool.remove(tx.hash_hex)
+        return included, receipts, cumulative_gas
+
+    # -- persistence and recovery (repro.storage) -----------------------------
+
+    def import_block(self, record: Dict[str, Any]) -> Block:
+        """Append an archived block verbatim, *without* re-execution.
+
+        Used by crash recovery for history below a state snapshot: the
+        snapshot already carries the post-block state, so the block record's
+        receipts are trusted after the usual linkage validation plus a hash
+        check against the recorded header.
+        """
+        block = block_from_record(record)
+        recorded_hash = record["header"].get("hash")
+        if recorded_hash is not None and block.hash != recorded_hash:
+            raise BlockValidationError(
+                f"archived block {block.number} hashes to {block.hash}, "
+                f"but {recorded_hash} was recorded"
+            )
+        self._append_block(block)
+        return block
+
+    def replay_block(self, record: Dict[str, Any]) -> Block:
+        """Re-execute a write-ahead-log block record against current state.
+
+        The block is rebuilt exactly as :meth:`produce_block` built it --
+        same timestamp, proposer and transaction order from the record, but
+        with execution re-run against the live state -- and the recomputed
+        hash must equal the recorded one, which proves the replayed state
+        transition is identical to the original.
+        """
+        header = record["header"]
+        transactions = [Transaction.from_dict(payload)
+                        for payload in record["transactions"]]
+        block_ctx = BlockContext(
+            number=int(header["number"]),
+            timestamp=float(header["timestamp"]),
+            coinbase=Address(header["proposer"]),
+            gas_price=0,
+        )
+        included, receipts, cumulative_gas = self._execute_transactions(
+            transactions, block_ctx)
+
+        rebuilt = BlockHeader(
+            number=int(header["number"]),
+            parent_hash=self.latest_block.hash,
+            timestamp=float(header["timestamp"]),
+            proposer=Address(header["proposer"]),
+            gas_used=cumulative_gas,
+            gas_limit=int(header["gas_limit"]),
+            transactions_root=compute_transactions_root(included),
+            receipts_root=compute_receipts_root(receipts),
+            extra_data=header.get("extra_data", ""),
+        )
+        block = Block(header=rebuilt, transactions=included, receipts=receipts)
+        recorded_hash = header.get("hash")
+        if recorded_hash is not None and block.hash != recorded_hash:
+            raise BlockValidationError(
+                f"replayed block {block.number} hashes to {block.hash}, "
+                f"but {recorded_hash} was recorded -- replay diverged"
+            )
         self._append_block(block)
         return block
 
@@ -245,6 +367,8 @@ class Blockchain:
                     log_index=index,
                 )
                 self._logs.append(positioned)
+        if self.store is not None:
+            self.store.record_block(block)
 
     def produce_blocks_until_empty(self, max_blocks: int = 100) -> List[Block]:
         """Keep producing blocks until the mempool drains (or the cap hits)."""

@@ -29,7 +29,9 @@ class Faucet:
         amount = self.default_drip_wei if amount_wei is None else int(amount_wei)
         if amount <= 0:
             raise ValueError(f"drip amount must be positive, got {amount}")
-        self.node.chain.state.credit(Address(address), amount)
+        # Mint through the chain (not the raw state) so the credit lands in
+        # the write-ahead log and survives a crash/recovery cycle.
+        self.node.chain.mint(Address(address), amount)
         self._history.append((str(Address(address)), amount))
         return amount
 

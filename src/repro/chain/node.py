@@ -38,9 +38,36 @@ class EthereumNode:
         clock: Optional[SimulatedClock] = None,
         validators: Optional[List[Address]] = None,
         network: Optional["NetworkModel"] = None,
+        storage: Optional[Any] = None,
+        chain: Optional[Blockchain] = None,
     ) -> None:
-        self.clock = clock or SimulatedClock()
-        self.chain = Blockchain(config=config, backend=backend, clock=self.clock, validators=validators)
+        #: Optional ``repro.storage`` engine (or config) persisting this
+        #: node's chain: every mint/transaction/block is write-ahead logged
+        #: and periodically snapshotted, enabling crash recovery via
+        #: ``repro.storage.recover_node``.  ``None`` keeps the seed's purely
+        #: in-process behaviour.
+        self.storage = None
+        if storage is not None:
+            from repro.storage.engine import ensure_engine
+
+            self.storage = ensure_engine(storage)
+        if chain is not None:
+            # Wrap an existing chain (crash recovery hands over a replayed
+            # one); its clock and store are authoritative, so competing
+            # construction arguments are a caller bug, not a preference.
+            if any(arg is not None for arg in (config, backend, clock, validators)):
+                raise ValueError(
+                    "pass either a pre-built chain or config/backend/clock/"
+                    "validators, not both")
+            self.clock = chain.clock
+            self.chain = chain
+            if self.storage is None and chain.store is not None:
+                self.storage = chain.store.engine
+        else:
+            self.clock = clock or SimulatedClock()
+            store = self.storage.chain_store() if self.storage is not None else None
+            self.chain = Blockchain(config=config, backend=backend, clock=self.clock,
+                                    validators=validators, store=store)
         #: Optional ``repro.simnet`` network model governing the client->node
         #: RPC link: submissions pay per-message latency (and retransmission
         #: timeouts for drops) on the simulated clock.  ``None`` (the seed

@@ -38,6 +38,10 @@ class WorldState:
         """Iterate over all known accounts."""
         return iter(list(self._accounts.values()))
 
+    def load_account(self, account: Account) -> None:
+        """Install a fully formed account record (snapshot restoration)."""
+        self._accounts[account.address.lower] = account
+
     # -- balances -----------------------------------------------------------
 
     def balance_of(self, address: Address | str) -> int:

@@ -15,6 +15,10 @@ Subcommands
     served methods, issue a single ``eth_*``/``ipfs_*``/``oflw3_*`` call or
     a raw batch, optionally against a chain pre-seeded with a tiny
     marketplace run.
+``storage``
+    Inspect, verify (replay to the recovered chain head) or compact a
+    persistent store directory written by ``run --store DIR``
+    (``repro.storage``: WAL + snapshots + IPFS blobs).
 ``gas-report``
     Replay only the on-chain side of the workflow and print the Fig. 5 fee
     table plus the CID-vs-model storage comparison.
@@ -57,6 +61,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--seed", type=int, default=None, help="override the random seed")
     run_parser.add_argument("--save", default=None, metavar="PATH",
                             help="save the full report to a JSON file")
+    run_parser.add_argument("--store", default=None, metavar="DIR",
+                            help="persist the chain (WAL + snapshots) and IPFS "
+                                 "blocks under DIR; inspect or recover later "
+                                 "with 'repro storage'")
 
     # Choices come from the simnet registries, so new scenarios/profiles are
     # CLI-reachable without touching this file.  scenario.py is import-light;
@@ -103,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
                             help="params, each parsed as JSON (bare words stay strings)")
     rpc_parser.add_argument("--list", action="store_true", dest="list_methods",
                             help="list every method the gateway serves")
+    rpc_parser.add_argument("--markdown", action="store_true",
+                            help="with --list: render the full method reference "
+                                 "as markdown (the source of docs/rpc.md)")
     rpc_parser.add_argument("--batch", default=None, metavar="JSON",
                             help="send a raw JSON-RPC envelope or batch array instead")
     rpc_parser.add_argument("--demo", action="store_true",
@@ -120,6 +131,15 @@ def build_parser() -> argparse.ArgumentParser:
     quality_parser.add_argument("--epochs", type=int, default=10)
     quality_parser.add_argument("--samples", type=int, default=20_000)
     quality_parser.add_argument("--seed", type=int, default=7)
+
+    storage_parser = subparsers.add_parser(
+        "storage", help="inspect, verify or compact a persistent store directory")
+    storage_parser.add_argument("action", choices=["inspect", "verify", "compact"],
+                                help="inspect: summarize WAL/snapshots/blobs; "
+                                     "verify: replay the store and report the "
+                                     "recovered head; compact: snapshot at the "
+                                     "head and truncate the WAL")
+    storage_parser.add_argument("directory", help="store directory (from run --store)")
 
     show_parser = subparsers.add_parser("show", help="summarize a saved report JSON")
     show_parser.add_argument("path", help="path to a report saved with 'run --save'")
@@ -145,9 +165,30 @@ def _command_run(args: argparse.Namespace) -> int:
         overrides["seed"] = args.seed
     config = paper_config(**overrides) if args.preset == "paper" else quick_config(**overrides)
 
+    environment = None
+    if args.store:
+        from repro.errors import StorageError
+        from repro.system.orchestrator import build_environment
+        from repro.storage import StorageConfig
+
+        try:
+            environment = build_environment(
+                config, storage=StorageConfig(backend="log", directory=args.store))
+        except StorageError as error:
+            # E.g. pointing a fresh run at a directory that already holds
+            # another run's chain history.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     print(f"running the OFL-W3 marketplace ({args.preset} preset, "
           f"{config.num_owners} owners, aggregator={config.aggregator})...")
-    report = run_marketplace(config)
+    try:
+        report = run_marketplace(config, environment=environment)
+    finally:
+        # A failed run must still flush what it persisted (blob indexes are
+        # lazy) so the store is post-mortem inspectable.
+        if environment is not None and environment.storage is not None:
+            environment.storage.backend.sync()
 
     print(f"\naggregate accuracy ({report.aggregate_algorithm}): {report.aggregate_accuracy:.4f}")
     print(f"local accuracies: {[round(a, 3) for a in report.local_accuracies]}")
@@ -160,13 +201,22 @@ def _command_run(args: argparse.Namespace) -> int:
     if args.save:
         target = save_report(report, args.save)
         print(f"full report saved to {target}")
+    if environment is not None and environment.storage is not None:
+        engine = environment.storage
+        # Snapshot the final head so a later recovery restores instead of
+        # re-executing the whole run.
+        environment.node.chain.store.snapshot()
+        pointer = engine.snapshots.latest_pointer()
+        print(f"chain persisted to {args.store} "
+              f"(snapshot at height {pointer['height']}, "
+              f"head {pointer['head_hash'][:18]}...); "
+              f"inspect with: python -m repro storage inspect {args.store}")
+        engine.close()
     return 0
 
 
 def _command_simulate(args: argparse.Namespace) -> int:
     """Implement the ``simulate`` subcommand."""
-    import json
-
     from repro.errors import ReproError
     from repro.simnet import ScenarioRunner, build_scenario
     from repro.system import paper_config, quick_config
@@ -220,11 +270,11 @@ def _command_simulate(args: argparse.Namespace) -> int:
     print()
     print(report.summary())
     if args.save:
-        from pathlib import Path
+        from repro.system.artifacts import save_json
 
-        target = Path(args.save)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        # save_json sorts keys at every nesting level, so two identical runs
+        # write byte-identical files and saved reports diff cleanly.
+        target = save_json(report.to_dict(), args.save)
         print(f"\nscenario report saved to {target}")
     return 0 if report.tasks_failed == 0 else 3
 
@@ -254,6 +304,13 @@ def _command_rpc(args: argparse.Namespace) -> int:
             node=EthereumNode(backend=default_registry()), swarm=Swarm())
 
     if args.list_methods:
+        if args.markdown:
+            from repro.rpc.docs import rpc_reference_markdown
+
+            # The reference documents the *fully loaded* surface (backend and
+            # storage namespaces mounted), independent of --demo.
+            print(rpc_reference_markdown(), end="")
+            return 0
         for name in gateway.methods():
             print(name)
         return 0
@@ -371,6 +428,43 @@ def _run_model_quality(owners: int, epochs: int, samples: int, seed: int) -> int
     return 0
 
 
+def _command_storage(args: argparse.Namespace) -> int:
+    """Implement the ``storage`` subcommand (inspect / verify / compact)."""
+    import json
+    from pathlib import Path
+
+    from repro.contracts import default_registry
+    from repro.errors import ReproError
+    from repro.storage import StorageConfig, StorageEngine, compact_store, verify_store
+
+    directory = Path(args.directory)
+    # Require an actual store marker, not mere existence: opening an
+    # arbitrary directory would silently mkdir wal/blobs/meta inside it.
+    if not directory.is_dir() or not (directory / "wal").is_dir():
+        print(f"error: {args.directory} is not a store directory", file=sys.stderr)
+        return 2
+    engine = StorageEngine(StorageConfig(backend="log", directory=args.directory))
+    try:
+        if args.action == "inspect":
+            print(json.dumps(engine.describe(), indent=2, sort_keys=True))
+            return 0
+        if args.action == "verify":
+            result = verify_store(engine, backend=default_registry())
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        result = compact_store(engine, backend=default_registry())
+        print(f"compacted WAL: {sum(result['before'].values())} -> "
+              f"{sum(result['after'].values())} entries "
+              f"(snapshot at height {result['snapshot']['height']})")
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    finally:
+        engine.close()
+
+
 def _command_show(path: str) -> int:
     """Implement the ``show`` subcommand."""
     from repro.system.artifacts import load_report, summarize_report
@@ -384,10 +478,10 @@ def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
     print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
-          "system, simnet")
+          "storage, system, simnet")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
-          "repro.rpc.MarketplaceClient")
-    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+          "repro.rpc.MarketplaceClient, repro.storage.recover_node")
+    print("docs: README.md, docs/architecture.md, docs/rpc.md")
     return 0
 
 
@@ -404,6 +498,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "rpc":
         return _command_rpc(args)
+    if args.command == "storage":
+        return _command_storage(args)
     if args.command == "gas-report":
         return _run_gas_report(args.owners, args.gas_price_gwei)
     if args.command == "model-quality":

@@ -150,6 +150,15 @@ class ContractRegistry:
         """Names of all registered contract classes."""
         return sorted(self._contracts)
 
+    def contract_class(self, name: str) -> Optional[Type[Contract]]:
+        """The registered class for ``name`` (``None`` if unknown).
+
+        Used by snapshot restoration (``repro.storage``): contracts are
+        stateless classes, so recovering a deployed contract is just
+        re-instantiating its class and reattaching the account's storage.
+        """
+        return self._contracts.get(name)
+
     # -- ContractBackend protocol -----------------------------------------------
 
     def create(self, name: str, args: List[Any], ctx: CallContext) -> CreateResult:

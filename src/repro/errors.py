@@ -229,3 +229,16 @@ class SimulationError(ReproError):
 
 class SchedulerError(SimulationError):
     """An event-scheduler misuse (negative delay, runaway process, deadlock)."""
+
+
+# ---------------------------------------------------------------------------
+# Durable storage (repro.storage)
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """A storage backend, WAL or snapshot operation failed."""
+
+
+class StorageCorruptionError(StorageError):
+    """Persisted data failed an integrity check (checksum, hash linkage)."""

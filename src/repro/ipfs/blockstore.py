@@ -1,25 +1,40 @@
-"""Local block storage keyed by CID."""
+"""Local block storage keyed by CID.
+
+The store verifies every insertion (bytes must hash to the claimed CID) and
+can sit on two substrates:
+
+* the default in-process dictionary -- the seed's behaviour, zero I/O;
+* a ``repro.storage`` *blob space* -- a namespaced, cache-fronted view of a
+  storage backend, which makes the node's blocks durable (``LogBackend``)
+  and serves hot blocks from the engine's shared LRU cache.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from repro.errors import BlockNotFoundError, InvalidCidError
 from repro.ipfs.cid import CID
 
 
 class BlockStore:
-    """An in-memory mapping from CID to block bytes.
+    """A mapping from CID to block bytes, in memory or on a blob space.
 
     Blocks are verified on insertion: storing bytes under a CID whose digest
     does not match raises :class:`InvalidCidError`, so a corrupted or
     malicious peer cannot poison a node's store.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, space: Optional[Any] = None) -> None:
+        #: ``None`` -> plain dict (seed path); otherwise a
+        #: :class:`repro.storage.engine.BlobSpace`-shaped object with
+        #: ``put/get/has/delete/keys/total_bytes``.
+        self._space = space
         self._blocks: Dict[str, bytes] = {}
 
     def __len__(self) -> int:
+        if self._space is not None:
+            return len(self._space.keys())
         return len(self._blocks)
 
     def __contains__(self, cid: CID | str) -> bool:
@@ -38,7 +53,10 @@ class BlockStore:
             raise InvalidCidError(
                 f"block content does not hash to {cid_obj.encode()}"
             )
-        self._blocks[cid_obj.encode()] = bytes(block)
+        if self._space is not None:
+            self._space.put(cid_obj.encode(), bytes(block))
+        else:
+            self._blocks[cid_obj.encode()] = bytes(block)
         return cid_obj
 
     def get(self, cid: CID | str) -> bytes:
@@ -50,6 +68,10 @@ class BlockStore:
             If the block is not present locally.
         """
         key = self._key(cid)
+        if self._space is not None:
+            if not self._space.has(key):
+                raise BlockNotFoundError(f"block {key} not in local store")
+            return self._space.get(key)
         if key not in self._blocks:
             raise BlockNotFoundError(f"block {key} not in local store")
         return self._blocks[key]
@@ -57,18 +79,28 @@ class BlockStore:
     def has(self, cid: CID | str) -> bool:
         """Whether the block is present locally."""
         try:
-            return self._key(cid) in self._blocks
+            key = self._key(cid)
         except InvalidCidError:
             return False
+        if self._space is not None:
+            return self._space.has(key)
+        return key in self._blocks
 
     def delete(self, cid: CID | str) -> bool:
         """Remove a block; returns whether it existed."""
-        return self._blocks.pop(self._key(cid), None) is not None
+        key = self._key(cid)
+        if self._space is not None:
+            return self._space.delete(key)
+        return self._blocks.pop(key, None) is not None
 
     def cids(self) -> Iterator[str]:
         """Iterate over the CIDs of all stored blocks."""
+        if self._space is not None:
+            return iter(self._space.keys())
         return iter(list(self._blocks.keys()))
 
     def total_bytes(self) -> int:
         """Total stored payload size in bytes."""
+        if self._space is not None:
+            return self._space.total_bytes()
         return sum(len(block) for block in self._blocks.values())

@@ -33,10 +33,13 @@ class IpfsNode:
     """One IPFS daemon: a block store, a pin set and a swarm connection."""
 
     def __init__(self, name: str = "node", swarm: Optional[Swarm] = None,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 blockstore: Optional[BlockStore] = None) -> None:
         self.name = name
         self.peer_id = "12D3Koo" + keccak256(f"oflw3-peer:{name}".encode("utf-8")).hex()[:32]
-        self.blockstore = BlockStore()
+        #: A caller-provided block store may be backed by a ``repro.storage``
+        #: blob space (durable, cache-fronted); the default is in-memory.
+        self.blockstore = blockstore if blockstore is not None else BlockStore()
         self.pins = PinSet()
         self.chunk_size = chunk_size
         self.swarm = swarm

@@ -40,6 +40,22 @@ from repro.rpc.protocol import (
 Middleware = Callable[[RpcRequest, Callable[[RpcRequest], Any]], Any]
 
 
+def _describe_storage(engine: Any) -> Callable[[], Dict[str, Any]]:
+    def storage_stats() -> Dict[str, Any]:
+        """Inspect the attached storage engine: backend, WAL, snapshot, cache."""
+        return engine.describe()
+
+    return storage_stats
+
+
+def _cache_stats(engine: Any) -> Callable[[], Dict[str, Any]]:
+    def storage_cache_stats() -> Dict[str, Any]:
+        """Hit/miss/eviction counters of the storage engine's LRU read cache."""
+        return engine.cache.snapshot()
+
+    return storage_cache_stats
+
+
 class JsonRpcGateway:
     """Versioned JSON-RPC 2.0 gateway over the chain/IPFS/backend stack."""
 
@@ -63,6 +79,7 @@ class JsonRpcGateway:
         self.eth: Optional[EthNamespace] = None
         self.ipfs = IpfsNamespace(swarm=swarm)
         self.oflw3 = Oflw3Namespace()
+        self.storage: Optional[Any] = None
         if node is not None:
             self.serve_node(node)
         if swarm is not None:
@@ -101,6 +118,22 @@ class JsonRpcGateway:
         key = self.oflw3.register_backend(backend)
         self.register_namespace(self.oflw3.methods())
         return key
+
+    def attach_storage(self, engine: Any) -> "JsonRpcGateway":
+        """Expose a ``repro.storage`` engine through the gateway.
+
+        Installs the engine's LRU read-cache statistics as a gauge on the
+        :class:`RequestMetrics` middleware (so scenario reports show cache
+        hits/misses next to request counts) and serves two ``storage_*``
+        methods: ``storage_stats`` (full engine inspection) and
+        ``storage_cacheStats`` (just the cache counters).
+        """
+        self.storage = engine
+        if self.metrics is not None:
+            self.metrics.attach_gauge("storage_cache", engine.cache.snapshot)
+        self.register("storage_stats", _describe_storage(engine))
+        self.register("storage_cacheStats", _cache_stats(engine))
+        return self
 
     def methods(self) -> List[str]:
         """Sorted names of every registered method."""

@@ -40,6 +40,14 @@ class RequestMetrics:
         self.errors_by_code: Dict[int, int] = {}
         self.latency_bucket_counts: List[int] = [0] * (len(LATENCY_BUCKETS_MS) + 1)
         self.latency_total_ms = 0.0
+        #: Named gauge callbacks sampled into every :meth:`snapshot` -- e.g.
+        #: the storage engine's cache hit/miss counters.  Each callback
+        #: returns a JSON-safe dict.
+        self._gauges: Dict[str, Callable[[], Dict[str, Any]]] = {}
+
+    def attach_gauge(self, name: str, sample: Callable[[], Dict[str, Any]]) -> None:
+        """Register a gauge; its sample appears under ``name`` in snapshots."""
+        self._gauges[name] = sample
 
     def __call__(self, request: RpcRequest, call_next: CallNext) -> Any:
         self.requests_total += 1
@@ -94,6 +102,8 @@ class RequestMetrics:
                    for bound, count in zip(LATENCY_BUCKETS_MS, self.latency_bucket_counts)},
                 "+inf": self.latency_bucket_counts[-1],
             }
+        for name, sample in sorted(self._gauges.items()):
+            counters[name] = sample()
         return counters
 
 

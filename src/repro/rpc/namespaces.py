@@ -79,17 +79,21 @@ class EthNamespace:
     # -- metadata / accounts -------------------------------------------------
 
     def chain_id(self) -> str:
+        """Network chain id as a hex quantity (Sepolia: 0xaa36a7)."""
         return to_quantity(self.node.chain_id)
 
     def block_number(self) -> str:
+        """Height of the latest block as a hex quantity."""
         return to_quantity(self.node.block_number)
 
     def get_balance(self, address: str, block: Union[str, int, None] = "latest") -> str:
+        """Balance of ``address`` in wei, as a hex quantity."""
         _parse_block_tag(self.node, block)  # historical state is not kept
         return to_quantity(self.node.get_balance(address))
 
     def get_transaction_count(self, address: str,
                               block: Union[str, int, None] = "latest") -> str:
+        """Nonce of ``address``; ``"pending"`` counts queued transactions."""
         if block == "pending":
             return to_quantity(self.node.pending_nonce(address))
         _parse_block_tag(self.node, block)
@@ -103,6 +107,7 @@ class EthNamespace:
 
     def get_block_by_number(self, block: Union[str, int, None] = "latest",
                             full_transactions: bool = False) -> Dict[str, Any]:
+        """Block by number/tag; transactions as hashes or full objects."""
         resolved = self.node.get_block(_parse_block_tag(self.node, block))
         payload = resolved.to_dict()
         if not full_transactions:
@@ -110,20 +115,24 @@ class EthNamespace:
         return payload
 
     def get_transaction_by_hash(self, tx_hash: str) -> Dict[str, Any]:
+        """A pending or included transaction, as the node API renders it."""
         return self.node.get_transaction(tx_hash).to_dict()
 
     def get_transaction_receipt(self, tx_hash: str) -> Optional[Dict[str, Any]]:
+        """Receipt of an included transaction (``None`` while pending)."""
         if not self.node.chain.has_receipt(tx_hash):
             return None
         return self.node.get_receipt(tx_hash).to_dict()
 
     def send_raw_transaction(self, raw: str) -> str:
+        """Broadcast a hex-serialized signed transaction; returns its hash."""
         return self.node.send_transaction(Transaction.deserialize_raw(raw))
 
     # -- calls / estimation ---------------------------------------------------
 
     def call(self, call_object: Dict[str, Any],
              block: Union[str, int, None] = "latest") -> Any:
+        """Gas-free read-only contract call (``{"to", "data", "from"}``)."""
         if not isinstance(call_object, dict) or not call_object.get("to"):
             raise JsonRpcError(INVALID_PARAMS, 'eth_call needs a call object with "to"')
         _parse_block_tag(self.node, block)
@@ -137,6 +146,7 @@ class EthNamespace:
         )
 
     def estimate_gas(self, transaction: Dict[str, Any]) -> str:
+        """Estimated gas for a transaction object, as a hex quantity."""
         if not isinstance(transaction, dict):
             raise JsonRpcError(INVALID_PARAMS, "eth_estimateGas needs a transaction object")
         return to_quantity(self.node.estimate_gas(Transaction.from_dict(transaction)))
@@ -164,21 +174,27 @@ class EthNamespace:
     # -- filters ---------------------------------------------------------------
 
     def new_block_filter(self) -> str:
+        """Install a filter that collects new block hashes; returns its id."""
         return self.filters.new_block_filter()
 
     def new_pending_transaction_filter(self) -> str:
+        """Install a filter that collects pending transaction hashes."""
         return self.filters.new_pending_transaction_filter()
 
     def new_filter(self, criteria: Optional[Dict[str, Any]] = None) -> str:
+        """Install a log filter over ``eth_getLogs``-style criteria."""
         return self.filters.new_log_filter(_log_filter_from_params(criteria))
 
     def get_filter_changes(self, filter_id: str) -> List[Any]:
+        """Poll a filter: everything new since the previous poll."""
         return self.filters.changes(filter_id)
 
     def get_filter_logs(self, filter_id: str) -> List[Dict[str, Any]]:
+        """All logs a log filter matches, from its installation block."""
         return self.filters.logs(filter_id)
 
     def uninstall_filter(self, filter_id: str) -> bool:
+        """Remove a filter; returns whether it existed."""
         return self.filters.uninstall(filter_id)
 
     # -- dev-chain extensions ---------------------------------------------------
@@ -271,10 +287,12 @@ class IpfsNamespace:
         return to_hex(self._resolve(node).cat(cid))
 
     def pin(self, cid: str, node: Optional[str] = None) -> Dict[str, Any]:
+        """Pin ``cid`` on the node (fetching it from peers if needed)."""
         self._resolve(node).pin(cid)
         return {"pinned": cid}
 
     def stat(self, cid: str, node: Optional[str] = None) -> Dict[str, Any]:
+        """Size and block-count of a DAG, like ``ipfs object stat``."""
         return self._resolve(node).stat(cid)
 
     def methods(self) -> MethodTable:
@@ -348,45 +366,54 @@ class Oflw3Namespace:
     # -- handlers --------------------------------------------------------------
 
     def health(self, backend: Optional[str] = None) -> Any:
+        """The backend's liveness/info route (``GET /api/health``)."""
         return self._rest(backend, "GET", "/api/health")
 
     def deploy_task(self, spec: Dict[str, Any], budget_wei: int,
                     backend: Optional[str] = None) -> Any:
+        """Deploy an FLTask contract with an escrowed budget (Step 1)."""
         return self._rest(backend, "POST", "/api/task",
                           {"spec": spec, "budget_wei": budget_wei})
 
     def task(self, address: str, backend: Optional[str] = None) -> Any:
+        """On-chain task summary: spec, budget, owners, CID count."""
         return self._rest(backend, "GET", f"/api/task/{address}")
 
     def task_cids(self, address: str, backend: Optional[str] = None) -> Any:
+        """The submitted model CIDs and their uploaders (Step 5)."""
         return self._rest(backend, "GET", f"/api/task/{address}/cids")
 
     def retrieve_models(self, address: str,
                         num_samples: Optional[Dict[str, int]] = None,
                         backend: Optional[str] = None) -> Any:
+        """Fetch every submitted model from IPFS (Step 6)."""
         return self._rest(backend, "POST", f"/api/task/{address}/retrieve",
                           {"num_samples": num_samples or {}})
 
     def aggregate(self, address: str, algorithm: Optional[str] = None,
                   backend: Optional[str] = None) -> Any:
+        """One-shot aggregate the retrieved models (Step 7a)."""
         body = {"algorithm": algorithm} if algorithm else {}
         return self._rest(backend, "POST", f"/api/task/{address}/aggregate", body)
 
     def compute_incentives(self, address: str, method: str = "leave_one_out",
                            options: Optional[Dict[str, Any]] = None,
                            backend: Optional[str] = None) -> Any:
+        """Score contributions (leave-one-out / Shapley) (Step 7b)."""
         body = {"method": method}
         body.update(options or {})
         return self._rest(backend, "POST", f"/api/task/{address}/incentives", body)
 
     def pay_owners(self, address: str, reserve_fraction: float = 0.0,
                    min_payment_wei: int = 0, backend: Optional[str] = None) -> Any:
+        """Distribute the escrowed budget by contribution (Step 7c)."""
         return self._rest(
             backend, "POST", f"/api/task/{address}/pay",
             {"reserve_fraction": reserve_fraction, "min_payment_wei": min_payment_wei},
         )
 
     def report(self, address: str, backend: Optional[str] = None) -> Any:
+        """The consolidated task report (accuracy, payments, timing)."""
         return self._rest(backend, "GET", f"/api/task/{address}/report")
 
     def methods(self) -> MethodTable:

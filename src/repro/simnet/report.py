@@ -81,6 +81,8 @@ class ScenarioReport:
     dropped_submissions: int = 0
     failed_fetch_attempts: int = 0
     rpc_stats: Optional[Dict[str, Any]] = None
+    node_restarts: int = 0
+    storage_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -133,6 +135,8 @@ class ScenarioReport:
             "dropped_submissions": self.dropped_submissions,
             "failed_fetch_attempts": self.failed_fetch_attempts,
             "rpc": self.rpc_stats,
+            "node_restarts": self.node_restarts,
+            "storage": self.storage_stats,
         }
 
     # -- rendering ---------------------------------------------------------------
@@ -164,6 +168,19 @@ class ScenarioReport:
                 f"{net.get('retransmissions', 0)} retransmissions, "
                 f"{self.dropped_submissions} lost submissions, "
                 f"{self.failed_fetch_attempts} failed fetches")
+        if self.node_restarts:
+            lines.append(
+                f"storage:    {self.node_restarts} node restart(s) recovered "
+                f"from WAL + snapshot")
+        if self.storage_stats is not None:
+            cache = self.storage_stats.get("cache", {})
+            wal = self.storage_stats.get("wal", {})
+            lines.append(
+                f"store:      backend={self.storage_stats.get('config', {}).get('backend')}, "
+                f"wal entries={sum(wal.values()) if wal else 0}, "
+                f"cache hits={cache.get('hits', 0)}/"
+                f"{cache.get('hits', 0) + cache.get('misses', 0)} "
+                f"({cache.get('evictions', 0)} evictions)")
         if self.rpc_stats is not None:
             top = ", ".join(
                 f"{method} x{count}"

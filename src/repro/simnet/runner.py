@@ -32,7 +32,7 @@ fee-priority contention come from.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple, Union
+from typing import Any, Dict, Generator, List, Optional, Tuple, Union
 
 from repro.chain.account import Address
 from repro.chain.chain import ChainConfig
@@ -46,6 +46,7 @@ from repro.ipfs.swarm import Swarm
 from repro.rpc.client import MarketplaceClient
 from repro.rpc.gateway import JsonRpcGateway
 from repro.rpc.middleware import TokenBucketRateLimiter
+from repro.storage.engine import StorageEngine, ensure_engine, recover_node
 from repro.simnet.behaviors import (
     OwnerBehavior,
     adversary_fraction,
@@ -94,6 +95,7 @@ class ScenarioRunner:
         scenario: Union[ScenarioSpec, str],
         config: Optional[OFLW3Config] = None,
         seed: Optional[int] = None,
+        storage: Optional[Any] = None,
     ) -> None:
         self.spec = build_scenario(scenario) if isinstance(scenario, str) else scenario
         base = config or quick_config()
@@ -109,11 +111,17 @@ class ScenarioRunner:
             self.spec.network_profile, seed=derive_seed(self.seed, "chain-net"))
         self.ipfs_network = make_network(
             self.spec.network_profile, seed=derive_seed(self.seed, "ipfs-net"))
+        # One storage engine for the whole scenario: the shared chain node
+        # write-ahead logs through it and every IPFS node's blocks live in
+        # its blob spaces.  The in-memory default stands in for a disk that
+        # survives the simulated node crash of a restart scenario.
+        self.storage = ensure_engine(storage) or StorageEngine()
         self.node = EthereumNode(
             config=ChainConfig(), backend=default_registry(),
-            clock=self.clock, network=self.chain_network)
+            clock=self.clock, network=self.chain_network, storage=self.storage)
         self.faucet = Faucet(self.node)
         self.swarm = Swarm(network=self.ipfs_network, clock=self.clock)
+        self.node_restarts = 0
 
         # One shared JSON-RPC gateway: every task's wallets and facades --
         # and the runner's own async submitters / receipt pollers -- cross
@@ -129,6 +137,7 @@ class ScenarioRunner:
             middleware.append(self.rate_limiter)
         self.gateway = JsonRpcGateway(
             node=self.node, swarm=self.swarm, middleware=middleware)
+        self.gateway.attach_storage(self.storage)
         self.rpc = MarketplaceClient(self.gateway)
 
         self.tasks: List[_TaskRuntime] = []
@@ -288,6 +297,45 @@ class ScenarioRunner:
             "async": True,
         }
 
+    def _chaos_process(self) -> Generator:
+        """Kill the chain node at the configured time and recover it."""
+        yield self.spec.node_restart_at_seconds
+        if self._active_tasks > 0:
+            self._restart_node()
+
+    def _restart_node(self) -> None:
+        """Abruptly drop the chain node and rebuild it from durable storage.
+
+        This is the simulated ``kill -9``: the old node object -- its chain,
+        state, mempool and receipt index -- is discarded wholesale, and a
+        replacement is recovered purely from the storage engine (snapshot +
+        WAL replay, pending transactions re-queued).  Every wallet and
+        facade reaches the chain through the shared JSON-RPC gateway, so
+        re-pointing the gateway's ``eth_*`` namespace at the recovered node
+        is all the rewiring the marketplace needs.
+        """
+        dead = self.node
+        recovered = recover_node(
+            self.storage,
+            backend=default_registry(),
+            clock=self.clock,
+            network=self.chain_network,
+        )
+        recovered.dropped_submissions = dead.dropped_submissions
+        # Scenario metrics describe the whole run, not one process lifetime:
+        # carry the dead node's admission counters over (recovery's re-queued
+        # pending transactions were already counted before the crash).
+        recovered.chain.mempool.total_added = dead.chain.mempool.total_added
+        recovered.chain.mempool.max_depth = max(
+            recovered.chain.mempool.max_depth, dead.chain.mempool.max_depth)
+        self.node = recovered
+        self.gateway.serve_node(recovered)
+        self.faucet.node = recovered
+        for task in self.tasks:
+            task.env.node = recovered
+            task.env.faucet = self.faucet
+        self.node_restarts += 1
+
     def _block_producer(self) -> Generator:
         """Mine on the slot cadence while any task is still active."""
         slot = self.node.chain.config.slot_seconds
@@ -345,6 +393,8 @@ class ScenarioRunner:
                 )
             if self.spec.async_submissions:
                 self.scheduler.spawn(self._block_producer(), name="block-producer")
+            if self.spec.node_restart_at_seconds is not None:
+                self.scheduler.spawn(self._chaos_process(), name="chaos-restart")
             self.scheduler.run(max_events=max_events)
         finally:
             self.clock.unsubscribe(self._sample_mempool)
@@ -393,6 +443,8 @@ class ScenarioRunner:
             dropped_submissions=self.node.dropped_submissions,
             failed_fetch_attempts=self.swarm.failed_fetch_attempts,
             rpc_stats=rpc_stats,
+            node_restarts=self.node_restarts,
+            storage_stats=self.storage.describe(),
         )
 
     # -- results access ----------------------------------------------------------

@@ -22,6 +22,10 @@ rpc_storm  concurrent tasks whose every chain/IPFS call crosses one shared,
            request metrics)
 lossy      one task on a congested WAN (latency, jitter, 15% drops)
 churn      one task with dropouts and stragglers
+restart    the chain node is killed mid-task and recovered from its
+           write-ahead log + latest snapshot (``repro.storage``); the
+           recovered node reaches the identical chain head, so the figures
+           match an uninterrupted run
 stress     everything at once: concurrent tasks, lossy WAN, poisoners,
            dropouts, stragglers
 ========== ==================================================================
@@ -70,6 +74,13 @@ class ScenarioSpec:
     rpc_rate_burst: Optional[float] = None
     """Token-bucket capacity (defaults to one second's worth of tokens)."""
 
+    node_restart_at_seconds: Optional[float] = None
+    """Simulated time at which the chain node is killed and recovered from
+    its WAL + latest snapshot (``repro.storage``).  The crash is abrupt --
+    nothing is flushed beyond what the write-ahead log already holds -- and
+    the recovered node must reach the identical chain head, so a scenario
+    with a restart reproduces the same figures as one without."""
+
     def __post_init__(self) -> None:
         if self.num_tasks <= 0:
             raise SimulationError(f"num_tasks must be positive, got {self.num_tasks}")
@@ -87,13 +98,18 @@ class ScenarioSpec:
             raise SimulationError(
                 "rpc_rate_burst requires rpc_rate_limit (no limiter is "
                 "installed without a rate)")
+        if self.node_restart_at_seconds is not None and self.node_restart_at_seconds <= 0:
+            raise SimulationError(
+                f"node_restart_at_seconds must be positive, "
+                f"got {self.node_restart_at_seconds}")
 
     @property
     def is_seed_exact(self) -> bool:
         """Whether this spec stays on the seed's exact code path."""
         return (self.num_tasks == 1 and not self.behavior_fractions
                 and self.network_profile == "ideal" and not self.async_submissions
-                and self.rpc_rate_limit is None)
+                and self.rpc_rate_limit is None
+                and self.node_restart_at_seconds is None)
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy of this spec with the given fields replaced."""
@@ -110,6 +126,7 @@ class ScenarioSpec:
             "async_submissions": self.async_submissions,
             "rpc_rate_limit": self.rpc_rate_limit,
             "rpc_rate_burst": self.rpc_rate_burst,
+            "node_restart_at_seconds": self.node_restart_at_seconds,
         }
 
 
@@ -149,6 +166,12 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
         description="owners churn out mid-task and stragglers upload late",
         behavior_fractions={"dropout": 0.2, "straggler": 0.3},
         behavior_kwargs={"straggler": {"mean_delay_seconds": 240.0}},
+    ),
+    "restart": ScenarioSpec(
+        name="restart",
+        description="the chain node is killed mid-task and recovered from "
+                    "WAL + snapshot; figures must match an uninterrupted run",
+        node_restart_at_seconds=90.0,  # mid-task for the default quick preset
     ),
     "stress": ScenarioSpec(
         name="stress",

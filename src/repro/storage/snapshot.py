@@ -1,0 +1,204 @@
+"""Chain-state snapshots: bounded-time recovery points.
+
+A snapshot captures the world state at one block height -- every account's
+balance, nonce, contract class and storage dictionary -- plus the chain head
+it corresponds to.  Together with the WAL it makes recovery two-phase:
+
+1. restore the snapshot state and the archived block history up to height
+   *H* (no re-execution);
+2. re-execute only the WAL entries after *H*, verifying each recomputed
+   block hash against the recorded header.
+
+Contracts are safe to snapshot because the contract framework bans
+per-instance state: a deployed contract object is just its class, and every
+persistent datum lives in the account's ``storage`` dictionary (see
+:class:`repro.contracts.framework.Contract`).  Restoring therefore
+re-instantiates the class by name from a contract registry and reattaches
+the decoded storage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import StorageCorruptionError, StorageError
+from repro.chain.account import Account, Address
+from repro.chain.state import WorldState
+from repro.utils.serialization import canonical_dumps, canonical_loads
+
+SNAPSHOT_SCHEMA = "oflw3-chain-snapshot/v1"
+
+#: Blob namespace holding snapshot payloads.
+SNAPSHOT_NAMESPACE = "snapshots"
+
+#: Meta key pointing at the most recent snapshot.
+LATEST_SNAPSHOT_META = "snapshot-latest"
+
+
+# ---------------------------------------------------------------------------
+# State (de)serialization
+# ---------------------------------------------------------------------------
+
+
+def encode_state(state: WorldState) -> Dict[str, Any]:
+    """Serialize a :class:`WorldState` into a JSON-safe dictionary.
+
+    Accounts are sorted by address so two identical states always encode to
+    identical bytes -- the recovery tests compare these dumps directly.
+    """
+    accounts: List[Dict[str, Any]] = []
+    for account in sorted(state.accounts(), key=lambda a: a.address.lower):
+        accounts.append({
+            "address": str(account.address),
+            "balance": account.balance,
+            "nonce": account.nonce,
+            "code_size": account.code_size,
+            "contract": type(account.contract).__name__ if account.contract else None,
+            "storage": dict(account.storage),
+        })
+    return {"accounts": accounts}
+
+
+def restore_state(payload: Dict[str, Any], registry: Any) -> WorldState:
+    """Rebuild a :class:`WorldState` from :func:`encode_state` output.
+
+    ``registry`` must expose ``contract_class(name)`` (the contract
+    registry); contract accounts get a fresh, stateless instance of the
+    recorded class with the decoded storage reattached.
+    """
+    state = WorldState()
+    for entry in payload.get("accounts", []):
+        contract = None
+        name = entry.get("contract")
+        if name:
+            if registry is None:
+                raise StorageError(
+                    f"snapshot contains contract {name!r} but no registry was "
+                    f"provided to restore it"
+                )
+            contract_class = registry.contract_class(name)
+            if contract_class is None:
+                raise StorageError(f"snapshot references unknown contract {name!r}")
+            contract = contract_class()
+        account = Account(
+            address=Address(entry["address"]),
+            balance=int(entry["balance"]),
+            nonce=int(entry["nonce"]),
+            contract=contract,
+            code_size=int(entry.get("code_size", 0)),
+            storage=dict(entry.get("storage", {})),
+        )
+        state.load_account(account)
+    return state
+
+
+def state_digest(state: WorldState) -> str:
+    """Stable hex digest of the full state (used by equality checks).
+
+    Same commitment the snapshot payload carries (:func:`_state_checksum`),
+    so ``verify_store`` digests and snapshot checksums can never drift.
+    """
+    return _state_checksum(encode_state(state))
+
+
+# ---------------------------------------------------------------------------
+# Snapshot manager
+# ---------------------------------------------------------------------------
+
+
+def snapshot_key(height: int) -> str:
+    """Blob key of the snapshot at ``height``."""
+    return f"snapshot-{int(height):012d}"
+
+
+def _state_checksum(state: Dict[str, Any]) -> str:
+    """Commitment over an encoded state section (write- and load-side)."""
+    from repro.utils.hashing import keccak256
+
+    return keccak256(canonical_dumps(state).encode("utf-8")).hex()
+
+
+class SnapshotManager:
+    """Writes and loads chain-state snapshots through a storage backend."""
+
+    def __init__(self, backend: Any) -> None:
+        self.backend = backend
+
+    def write(self, chain: Any, wal_seq: Optional[int] = None) -> Dict[str, Any]:
+        """Snapshot ``chain`` at its current head; returns the pointer record.
+
+        ``wal_seq`` is the sequence number of the WAL entry for the head
+        block (compaction truncates up to it).
+        """
+        head = chain.latest_block
+        state = encode_state(chain.state)
+        payload = {
+            "schema": SNAPSHOT_SCHEMA,
+            "height": head.number,
+            "head_hash": head.hash,
+            "clock_now": chain.clock.now,
+            "wal_seq": wal_seq,
+            "state": state,
+            # Block headers carry no state root, so the snapshot carries its
+            # own commitment: corruption of the state section must fail
+            # recovery loudly, not restore wrong balances under the right
+            # head hash.
+            "state_checksum": _state_checksum(state),
+        }
+        key = snapshot_key(head.number)
+        self.backend.put_blob(
+            SNAPSHOT_NAMESPACE, key, canonical_dumps(payload).encode("utf-8")
+        )
+        pointer = {
+            "height": head.number,
+            "head_hash": head.hash,
+            "key": key,
+            "wal_seq": wal_seq,
+        }
+        self.backend.put_meta(LATEST_SNAPSHOT_META, pointer)
+        return pointer
+
+    def latest_pointer(self) -> Optional[Dict[str, Any]]:
+        """The pointer record of the most recent snapshot, or ``None``."""
+        return self.backend.get_meta(LATEST_SNAPSHOT_META)
+
+    def load_latest(self) -> Optional[Dict[str, Any]]:
+        """Load and validate the most recent snapshot payload, or ``None``."""
+        pointer = self.latest_pointer()
+        if pointer is None:
+            return None
+        payload = canonical_loads(
+            self.backend.get_blob(SNAPSHOT_NAMESPACE, pointer["key"]).decode("utf-8")
+        )
+        if payload.get("schema") != SNAPSHOT_SCHEMA:
+            raise StorageCorruptionError(
+                f"snapshot {pointer['key']} has unknown schema "
+                f"{payload.get('schema')!r}"
+            )
+        if payload.get("head_hash") != pointer.get("head_hash"):
+            raise StorageCorruptionError(
+                f"snapshot {pointer['key']} head hash does not match its pointer"
+            )
+        if payload.get("state_checksum") != _state_checksum(payload.get("state", {})):
+            raise StorageCorruptionError(
+                f"snapshot {pointer['key']} state section fails its checksum"
+            )
+        return payload
+
+    def heights(self) -> List[int]:
+        """Heights of every retained snapshot, ascending."""
+        heights = []
+        for key in self.backend.blob_keys(SNAPSHOT_NAMESPACE):
+            if key.startswith("snapshot-"):
+                heights.append(int(key[len("snapshot-"):]))
+        return sorted(heights)
+
+    def prune(self, keep: int = 2) -> int:
+        """Drop all but the newest ``keep`` snapshots; returns count removed."""
+        if keep < 1:
+            raise StorageError(f"must keep at least one snapshot, got {keep}")
+        removed = 0
+        for height in self.heights()[:-keep]:
+            if self.backend.delete_blob(SNAPSHOT_NAMESPACE, snapshot_key(height)):
+                removed += 1
+        return removed

@@ -62,13 +62,25 @@ def report_to_dict(report: MarketplaceReport) -> Dict[str, Any]:
     }
 
 
-def save_report(report: MarketplaceReport, path: PathLike) -> Path:
-    """Write a marketplace report to ``path`` as pretty-printed JSON."""
+def save_json(payload: Dict[str, Any], path: PathLike) -> Path:
+    """Write any report payload to ``path`` as *canonical* pretty JSON.
+
+    Keys are sorted at every nesting level, so two runs that produce equal
+    payloads produce byte-identical files -- saved reports diff cleanly no
+    matter what insertion order the producing dictionaries had.  Every
+    ``--save`` flag in the CLI funnels through here.
+    """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    payload = report_to_dict(report)
-    target.write_text(json.dumps(payload, indent=2, sort_keys=True, default=_json_default))
+    target.write_text(
+        json.dumps(payload, indent=2, sort_keys=True, default=_json_default) + "\n"
+    )
     return target
+
+
+def save_report(report: MarketplaceReport, path: PathLike) -> Path:
+    """Write a marketplace report to ``path`` as pretty-printed JSON."""
+    return save_json(report_to_dict(report), path)
 
 
 def load_report(path: PathLike) -> Dict[str, Any]:

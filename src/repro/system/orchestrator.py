@@ -24,11 +24,13 @@ from repro.contracts.registry import default_registry
 from repro.data.dataset import Dataset, train_test_split
 from repro.data.partition import partition_dataset
 from repro.data.synthetic_mnist import SyntheticMnistConfig, generate_synthetic_mnist
+from repro.ipfs.blockstore import BlockStore
 from repro.ipfs.node import IpfsNode
 from repro.ipfs.swarm import Swarm
 from repro.ml.trainer import TrainingConfig
 from repro.rpc.client import MarketplaceClient
 from repro.rpc.gateway import JsonRpcGateway
+from repro.storage.engine import StorageConfig, StorageEngine, ensure_engine
 from repro.system.config import OFLW3Config
 from repro.system.costs import GasCostReport, build_gas_cost_report
 from repro.system.roles import ModelBuyer, ModelOwner
@@ -55,6 +57,7 @@ class MarketplaceEnvironment:
     test_dataset: Dataset
     workflow: OFLW3Workflow
     gateway: Optional[JsonRpcGateway] = None
+    storage: Optional[StorageEngine] = None
 
 
 @dataclass
@@ -166,6 +169,7 @@ def build_environment(
     gateway: Optional[JsonRpcGateway] = None,
     label_prefix: str = "",
     behaviors: Optional[List[Any]] = None,
+    storage: Optional[Any] = None,
 ) -> MarketplaceEnvironment:
     """Construct (but do not run) the full marketplace environment.
 
@@ -181,11 +185,25 @@ def build_environment(
     Every wallet and facade in the environment routes its chain/IPFS/backend
     access through the one gateway, so all marketplace traffic crosses a
     single meterable JSON-RPC boundary.
+
+    ``storage`` is a :class:`~repro.storage.StorageConfig` or
+    :class:`~repro.storage.StorageEngine`.  The default is an in-memory
+    engine, which is bit-for-bit invisible to the experiment; pass a
+    log-backed config (CLI: ``python -m repro run --store DIR``) to persist
+    the chain WAL, periodic snapshots and every IPFS block under a
+    directory that survives the process.
     """
     config = config or OFLW3Config()
+    if storage is not None:
+        engine = ensure_engine(storage)
+    elif node is not None and getattr(node, "storage", None) is not None:
+        engine = node.storage  # the caller's node already persists; share it
+    else:
+        engine = StorageEngine(StorageConfig())
     if node is None:
         clock = SimulatedClock()
-        node = EthereumNode(config=ChainConfig(), backend=default_registry(), clock=clock)
+        node = EthereumNode(config=ChainConfig(), backend=default_registry(),
+                            clock=clock, storage=engine)
     faucet = faucet or Faucet(node)
     latency = LatencyModel()
     if behaviors is not None and len(behaviors) != config.num_owners:
@@ -222,10 +240,19 @@ def build_environment(
     )
 
     # IPFS swarm: one node for the buyer, one per owner, fully meshed (LAN).
+    # Each node's block store sits on its own blob namespace of the storage
+    # engine, fronted by the engine's shared LRU read cache.
     swarm = swarm if swarm is not None else Swarm()
-    buyer_ipfs = IpfsNode(f"{label_prefix}buyer", swarm)
+
+    def _ipfs_node(name: str) -> IpfsNode:
+        return IpfsNode(
+            name, swarm,
+            blockstore=BlockStore(space=engine.blob_space(f"ipfs/{name}")),
+        )
+
+    buyer_ipfs = _ipfs_node(f"{label_prefix}buyer")
     owner_ipfs_nodes = [
-        IpfsNode(f"{label_prefix}owner-{i}", swarm) for i in range(config.num_owners)
+        _ipfs_node(f"{label_prefix}owner-{i}") for i in range(config.num_owners)
     ]
     swarm.connect_all()
 
@@ -233,6 +260,8 @@ def build_environment(
     # bound to it (the scenario runner passes one shared gateway instead).
     if gateway is None:
         gateway = JsonRpcGateway(node=node, swarm=swarm)
+    if gateway.storage is None:
+        gateway.attach_storage(engine)
 
     # Wallets, funded by the faucet.
     buyer_keys = KeyPair.from_label(f"{label_prefix}buyer-{config.seed}")
@@ -290,6 +319,7 @@ def build_environment(
         test_dataset=test_dataset,
         workflow=workflow,
         gateway=gateway,
+        storage=engine,
     )
 
 

@@ -151,3 +151,96 @@ class TestRpcCommand:
         assert main(["rpc", "eth_getBalance", address, '"latest"']) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["result"] == "0x0"
+
+
+class TestStorageCommands:
+    @pytest.fixture()
+    def persisted_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        exit_code = main([
+            "run", "--preset", "quick", "--owners", "2", "--epochs", "1",
+            "--seed", "33", "--store", str(store_dir),
+        ])
+        assert exit_code == 0
+        assert "chain persisted" in capsys.readouterr().out
+        return store_dir
+
+    def test_run_store_then_inspect(self, persisted_store, capsys):
+        assert main(["storage", "inspect", str(persisted_store)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["backend"] == "log"
+        assert payload["snapshot"] is not None
+        assert any(ns.startswith("ipfs/") for ns in
+                   payload["backend"]["blob_namespaces"])
+
+    def test_verify_replays_to_the_persisted_head(self, persisted_store, capsys):
+        assert main(["storage", "verify", str(persisted_store)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["height"] > 0
+        assert payload["head_hash"].startswith("0x")
+        assert payload["pending_transactions"] == 0
+
+    def test_compact_then_verify_still_recovers(self, persisted_store, capsys):
+        assert main(["storage", "compact", str(persisted_store)]) == 0
+        capsys.readouterr()
+        assert main(["storage", "verify", str(persisted_store)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["height"] > 0
+
+    def test_missing_directory_is_a_usage_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["storage", "inspect", str(missing)]) == 2
+        assert "not a store directory" in capsys.readouterr().err
+
+    def test_existing_non_store_directory_is_rejected_untouched(self, tmp_path, capsys):
+        plain = tmp_path / "my-project"
+        plain.mkdir()
+        (plain / "notes.txt").write_text("hello")
+        assert main(["storage", "inspect", str(plain)]) == 2
+        assert "not a store directory" in capsys.readouterr().err
+        # Crucially: the command must not have scaffolded wal/blobs/meta.
+        assert sorted(p.name for p in plain.iterdir()) == ["notes.txt"]
+
+    def test_reusing_a_store_directory_is_a_clean_error(self, persisted_store, capsys):
+        exit_code = main([
+            "run", "--preset", "quick", "--owners", "2", "--epochs", "1",
+            "--seed", "33", "--store", str(persisted_store),
+        ])
+        assert exit_code == 2
+        assert "already holds chain history" in capsys.readouterr().err
+
+
+class TestSaveDeterminism:
+    def test_identical_simulate_runs_save_identical_bytes(self, tmp_path, capsys):
+        """Saved scenario reports are canonical: sorted keys, stable bytes."""
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main([
+                "simulate", "--scenario", "ideal", "--owners", "2",
+                "--epochs", "1", "--seed", "23", "--save", str(path),
+            ]) == 0
+        capsys.readouterr()
+        first, second = (path.read_bytes() for path in paths)
+        assert first == second
+
+        payload = json.loads(first)
+
+        def keys_sorted(value):
+            if isinstance(value, dict):
+                assert list(value) == sorted(value)
+                for child in value.values():
+                    keys_sorted(child)
+            elif isinstance(value, list):
+                for child in value:
+                    keys_sorted(child)
+
+        keys_sorted(payload)
+
+
+class TestRpcMarkdown:
+    def test_markdown_flag_prints_the_reference(self, capsys):
+        assert main(["rpc", "--list", "--markdown"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("# JSON-RPC method reference")
+        assert "| `eth_chainId` |" in output
+        assert "| `storage_stats` |" in output

@@ -1,0 +1,47 @@
+"""Documentation link check: relative links in README/docs must resolve.
+
+This is the test the CI docs job runs; a dead relative link (renamed file,
+moved doc) fails the build instead of rotting silently.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Markdown files whose links are checked.
+DOCUMENTS = sorted(
+    [REPO_ROOT / "README.md"] + list((REPO_ROOT / "docs").glob("*.md"))
+)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_links(path: Path):
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+class TestDocumentationLinks:
+    def test_documents_exist(self):
+        assert any(d.name == "architecture.md" for d in DOCUMENTS)
+        assert any(d.name == "rpc.md" for d in DOCUMENTS)
+
+    @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+    def test_relative_links_resolve(self, document):
+        dead = [
+            target for target in _relative_links(document)
+            if not (document.parent / target).exists()
+        ]
+        assert not dead, f"dead relative links in {document.name}: {dead}"
+
+    def test_readme_links_to_the_architecture_and_rpc_docs(self):
+        text = (REPO_ROOT / "README.md").read_text()
+        assert "docs/architecture.md" in text
+        assert "docs/rpc.md" in text

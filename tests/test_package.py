@@ -19,6 +19,7 @@ class TestPackage:
         import repro.incentives
         import repro.ipfs
         import repro.ml
+        import repro.storage
         import repro.system
         import repro.utils
         import repro.web
@@ -31,6 +32,8 @@ class TestPackage:
         assert repro.incentives.leave_one_out
         assert repro.web.BuyerDApp
         assert repro.system.run_marketplace
+        assert repro.storage.StorageEngine
+        assert repro.storage.recover_node
 
 
 class TestErrorHierarchy:
@@ -43,6 +46,7 @@ class TestErrorHierarchy:
             errors.FLError,
             errors.IncentiveError,
             errors.WebError,
+            errors.StorageError,
             errors.WorkflowError,
             errors.ConfigError,
         ]
@@ -58,6 +62,7 @@ class TestErrorHierarchy:
         assert issubclass(errors.AggregationError, errors.FLError)
         assert issubclass(errors.BudgetError, errors.IncentiveError)
         assert issubclass(errors.WalletError, errors.WebError)
+        assert issubclass(errors.StorageCorruptionError, errors.StorageError)
 
     def test_contract_revert_carries_reason(self):
         exc = errors.ContractRevert("Invalid CID index")
