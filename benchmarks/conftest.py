@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.data import partition_dataset
 from repro.fl import FLClient
 from repro.ml import TrainingConfig
 from repro.ml.trainer import evaluate_model

@@ -7,6 +7,41 @@ from typing import Any, Dict, Optional
 
 from repro.errors import InvalidAddressError
 from repro.chain.keys import ADDRESS_BYTES, to_checksum_address
+from repro.utils.cache import LRUCache
+
+#: Checksum interning cache: every state read (``balance_of``, ``nonce_of``,
+#: ``get_account``) normalizes its address argument, and the EIP-55 checksum
+#: costs a keccak per computation.  Fronted by the same shared
+#: :class:`~repro.utils.cache.LRUCache` the storage engine's read paths use
+#: (it lives in ``repro.utils`` precisely so the chain can use it without
+#: inverting the storage -> chain dependency).
+_checksum_cache = LRUCache(capacity=65536)
+
+
+def _interned_checksum(body: str) -> str:
+    """Checksum ``0x + body`` through the shared LRU (validates on miss).
+
+    Keyed on the case-folded body: callers pass the same address as both
+    lowercase state keys and checksummed display strings, and the checksum
+    only depends on the hex digits, so case-folding makes those share one
+    cache slot instead of missing past each other.
+    """
+    key = body.lower()
+    cached = _checksum_cache.get(key)
+    if cached is None:
+        cached = to_checksum_address("0x" + body)
+        _checksum_cache.put(key, cached)
+    return cached
+
+
+def address_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters of the address-interning cache."""
+    return {
+        "size": len(_checksum_cache),
+        "hits": _checksum_cache.hits,
+        "misses": _checksum_cache.misses,
+        "evictions": _checksum_cache.evictions,
+    }
 
 
 class Address:
@@ -17,11 +52,12 @@ class Address:
     returns the EIP-55 checksummed representation used in reports (Table 1).
     """
 
-    __slots__ = ("_checksummed",)
+    __slots__ = ("_checksummed", "_lower")
 
     def __init__(self, value: "Address | str") -> None:
         if isinstance(value, Address):
             self._checksummed = value._checksummed
+            self._lower = value._lower
             return
         if not isinstance(value, str):
             raise InvalidAddressError(f"address must be a string, got {type(value).__name__}")
@@ -29,9 +65,10 @@ class Address:
         if len(body) != ADDRESS_BYTES * 2:
             raise InvalidAddressError(f"address must encode {ADDRESS_BYTES} bytes: {value!r}")
         try:
-            self._checksummed = to_checksum_address("0x" + body)
+            self._checksummed = _interned_checksum(body)
         except ValueError as exc:
             raise InvalidAddressError(str(exc)) from exc
+        self._lower = self._checksummed.lower()
 
     def __str__(self) -> str:
         return self._checksummed
@@ -41,7 +78,7 @@ class Address:
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Address):
-            return self._checksummed.lower() == other._checksummed.lower()
+            return self._lower == other._lower
         if isinstance(other, str):
             try:
                 return self == Address(other)
@@ -50,7 +87,7 @@ class Address:
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._checksummed.lower())
+        return hash(self._lower)
 
     @property
     def checksummed(self) -> str:
@@ -60,7 +97,7 @@ class Address:
     @property
     def lower(self) -> str:
         """The all-lowercase string form (canonical dictionary key)."""
-        return self._checksummed.lower()
+        return self._lower
 
 
 ZERO_ADDRESS = Address("0x" + "00" * ADDRESS_BYTES)

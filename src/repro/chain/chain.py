@@ -18,7 +18,7 @@ from repro.chain.block import (
 from repro.chain.consensus import ProofOfAuthority
 from repro.chain.events import EventLog, LogFilter, LogPage, parse_cursor
 from repro.chain.executor import BlockContext, ContractBackend, TransactionExecutor
-from repro.chain.gas import GasSchedule, SEPOLIA_GAS_SCHEDULE
+from repro.chain.gas import GasSchedule
 from repro.chain.mempool import Mempool
 from repro.chain.receipts import TransactionReceipt
 from repro.chain.state import WorldState
@@ -370,9 +370,34 @@ class Blockchain:
         if self.store is not None:
             self.store.record_block(block)
 
+    def produce_blocks(
+        self,
+        count: Optional[int] = None,
+        until_empty: bool = False,
+        max_blocks: int = 100,
+        advance_clock: bool = True,
+    ) -> List[Block]:
+        """The ONE batched block-production loop.
+
+        Explicit mining (``EthereumNode.mine``, ``evm_mine``) and drain-the-
+        mempool mining (:meth:`produce_blocks_until_empty`, the simnet block
+        producer) both run through this loop, so batching improvements to the
+        production path apply to every caller.  With ``count`` set, exactly
+        that many blocks are produced (empty blocks included); with
+        ``until_empty``, production stops once the mempool drains or
+        ``max_blocks`` is hit.
+        """
+        produced: List[Block] = []
+        while True:
+            if count is not None and len(produced) >= count:
+                break
+            if until_empty and (len(self.mempool) == 0 or len(produced) >= max_blocks):
+                break
+            if count is None and not until_empty:
+                break
+            produced.append(self.produce_block(advance_clock=advance_clock))
+        return produced
+
     def produce_blocks_until_empty(self, max_blocks: int = 100) -> List[Block]:
         """Keep producing blocks until the mempool drains (or the cap hits)."""
-        produced: List[Block] = []
-        while len(self.mempool) > 0 and len(produced) < max_blocks:
-            produced.append(self.produce_block())
-        return produced
+        return self.produce_blocks(until_empty=True, max_blocks=max_blocks)

@@ -10,7 +10,7 @@ This waiting time is what dominates the Fig. 7 execution-time breakdown.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.chain.account import Address
 from repro.utils.clock import SimulatedClock

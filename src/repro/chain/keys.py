@@ -55,6 +55,100 @@ def _hash_to_int(*parts: bytes) -> int:
     return int.from_bytes(keccak256(b"".join(parts)), "big") % GROUP_ORDER
 
 
+class _FixedBaseComb:
+    """Fixed-base windowed exponentiation for one base (the group generator).
+
+    ``pow(g, exp, P)`` performs ~``bits(exp)`` squarings every call even
+    though ``g`` never changes.  Precomputing ``g^(d * 2^(w*i))`` for every
+    window position ``i`` and digit ``d`` replaces the whole squaring chain
+    with one table multiplication per ``w``-bit window, which makes signing
+    and verification several times faster on the transaction hot path.
+
+    Window rows are built lazily: honest signatures have ~512-bit exponents
+    (a 256-bit nonce plus a 256*256-bit product), so only the first dozen or
+    so rows are ever materialized unless a hostile signature carries a huge
+    exponent.  The table is exact -- results are bit-identical to ``pow``.
+    """
+
+    def __init__(self, base: int, modulus: int, window_bits: int = 5,
+                 base_order: Optional[int] = None) -> None:
+        self.base = base
+        self.modulus = modulus
+        self.window_bits = window_bits
+        #: Multiplicative order of ``base`` (i.e. ``base^order == 1``), when
+        #: known.  Exponents are reduced modulo it, which both preserves the
+        #: result exactly and *bounds the table*: without the reduction an
+        #: attacker-supplied signature with a megabytes-long ``s`` would
+        #: force one comb row per 5 exponent bits into this process-global
+        #: table, a memory-exhaustion hazard the old constant-memory ``pow``
+        #: path never had.
+        self.base_order = base_order
+        self._digit_count = (1 << window_bits) - 1
+        #: ``_rows[i][d-1] == base^(d * 2^(w*i)) mod P`` for digits d >= 1.
+        self._rows: list = []
+        #: ``base^(2^(w * len(_rows)))`` -- the generator of the next row.
+        self._next_row_base = base % modulus
+
+    def _extend_to(self, row_index: int) -> None:
+        while len(self._rows) <= row_index:
+            cur = self._next_row_base
+            row = [cur]
+            for _ in range(self._digit_count - 1):
+                row.append(row[-1] * cur % self.modulus)
+            self._rows.append(row)
+            self._next_row_base = row[-1] * cur % self.modulus
+
+    def pow(self, exponent: int) -> int:
+        """``base ** exponent mod modulus``, bit-identical to ``pow``."""
+        if exponent < 0:
+            return pow(self.base, exponent, self.modulus)
+        if self.base_order is not None and exponent >= self.base_order:
+            exponent %= self.base_order
+        elif self.base_order is None and exponent.bit_length() > self.modulus.bit_length():
+            # Unknown order and an oversized exponent: keep the table bounded
+            # by the modulus size and let the builtin handle the outlier.
+            return pow(self.base, exponent, self.modulus)
+        result = 1
+        row_index = 0
+        mask = self._digit_count
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                self._extend_to(row_index)
+                result = result * self._rows[row_index][digit - 1] % self.modulus
+            exponent >>= self.window_bits
+            row_index += 1
+        return result
+
+
+#: Shared comb table for the group generator (every signature and key pair
+#: exponentiates the same base, so one process-wide table serves them all).
+#: ``GENERATOR``'s multiplicative order divides ``GROUP_ORDER`` -- the
+#: generator is a quadratic residue of the safe prime, and
+#: ``pow(GENERATOR, GROUP_ORDER, GROUP_PRIME) == 1`` (pinned by
+#: ``tests/chain/test_hotpaths.py``) -- so exponent reduction is exact and
+#: the table never exceeds ``GROUP_ORDER.bit_length() / window_bits`` rows.
+_GENERATOR_COMB = _FixedBaseComb(GENERATOR, GROUP_PRIME, base_order=GROUP_ORDER)
+
+#: Cache of ``y^-1 mod P`` per public key: verification needs the inverse on
+#: every call, senders repeat across transactions, and the inverse of a
+#: 2048-bit element is ~0.4 ms.  Bounded so a stream of hostile one-shot
+#: keys cannot grow it without limit.
+_INVERSE_CACHE: dict = {}
+_INVERSE_CACHE_MAX = 16384
+
+
+def _inverse_of(public_key: int) -> int:
+    """``public_key^-1 mod GROUP_PRIME``, memoized per key."""
+    cached = _INVERSE_CACHE.get(public_key)
+    if cached is None:
+        cached = pow(public_key, -1, GROUP_PRIME)
+        if len(_INVERSE_CACHE) >= _INVERSE_CACHE_MAX:
+            _INVERSE_CACHE.clear()
+        _INVERSE_CACHE[public_key] = cached
+    return cached
+
+
 @dataclass(frozen=True)
 class Signature:
     """A Schnorr signature ``(commitment e, response s)`` plus the public key.
@@ -126,7 +220,7 @@ class KeyPair:
             raise ValueError("private key must be non-empty bytes")
         self._private_seed = bytes(private_key)
         self._x = _hash_to_int(b"oflw3-priv", self._private_seed) or 1
-        self.public_key = pow(GENERATOR, self._x, GROUP_PRIME)
+        self.public_key = _GENERATOR_COMB.pow(self._x)
         self.address = address_from_public_key(self.public_key)
 
     # -- construction -------------------------------------------------------
@@ -156,7 +250,7 @@ class KeyPair:
         if len(message_hash) != 32:
             raise ValueError("sign expects a 32-byte message hash")
         nonce = _hash_to_int(b"oflw3-nonce", self._private_seed, message_hash) or 1
-        commitment = pow(GENERATOR, nonce, GROUP_PRIME)
+        commitment = _GENERATOR_COMB.pow(nonce)
         challenge = _hash_to_int(_int_to_bytes(commitment), message_hash)
         response = (nonce + challenge * self._x) % GROUP_ORDER
         return Signature(e=challenge, s=response, public_key=self.public_key)
@@ -177,11 +271,13 @@ def verify_signature(signature: Signature, message_hash: bytes, address: Optiona
     y = signature.public_key
     if not (1 < y < GROUP_PRIME):
         return False
-    # g^s = g^(k + x*e) = r * y^e  =>  r = g^s * y^(-e)
-    gs = pow(GENERATOR, signature.s, GROUP_PRIME)
-    ye = pow(y, signature.e, GROUP_PRIME)
+    # g^s = g^(k + x*e) = r * y^e  =>  r = g^s * (y^-1)^e.  The generator
+    # exponentiation runs through the shared comb table and the inverse is
+    # memoized per public key; the group element is identical to the naive
+    # pow-based computation.
+    gs = _GENERATOR_COMB.pow(signature.s)
     try:
-        r = (gs * pow(ye, -1, GROUP_PRIME)) % GROUP_PRIME
+        r = gs * pow(_inverse_of(y), signature.e, GROUP_PRIME) % GROUP_PRIME
     except ValueError:
         return False
     expected_challenge = _hash_to_int(_int_to_bytes(r), message_hash)

@@ -4,6 +4,15 @@ Pending transactions wait here until the proof-of-authority producer includes
 them in a block.  Ordering is by gas price (descending) then arrival order,
 mirroring fee-priority inclusion; per-sender nonce gaps keep later
 transactions queued until their predecessors are included.
+
+Two index structures keep the ingest path off linear scans:
+
+* a fee-priority ordering cache, invalidated on add/remove, so repeated
+  ``pending()`` calls (receipt polling, block selection) sort at most once
+  per mutation instead of once per call;
+* a sender -> {nonce -> tx hashes} index, so per-sender queries
+  (``pending_count``, stale-nonce pruning) are dictionary lookups instead
+  of full-pool scans.
 """
 
 from __future__ import annotations
@@ -28,6 +37,12 @@ class Mempool:
         #: Append-only journal of every accepted transaction hash, in arrival
         #: order.  ``eth_newPendingTransactionFilter`` polls it by offset.
         self.added_journal: List[str] = []
+        #: sender (lowercase) -> nonce -> hashes of pending transactions.
+        #: Several transactions may share a (sender, nonce) pair -- e.g. a
+        #: replacement at a higher gas price -- hence the list.
+        self._by_sender: Dict[str, Dict[int, List[str]]] = {}
+        #: Fee-priority ordering, rebuilt lazily after any add/remove.
+        self._order_cache: Optional[List[Transaction]] = None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -56,13 +71,31 @@ class Mempool:
         self._counter += 1
         self.total_added += 1
         self.added_journal.append(tx_hash)
+        self._by_sender.setdefault(tx.sender.lower, {}).setdefault(tx.nonce, []).append(tx_hash)
+        self._order_cache = None
         self.max_depth = max(self.max_depth, len(self._pending))
         return tx_hash
 
     def remove(self, tx_hash: str) -> Optional[Transaction]:
         """Drop a pending transaction (after inclusion or explicit eviction)."""
         self._arrival.pop(tx_hash, None)
-        return self._pending.pop(tx_hash, None)
+        tx = self._pending.pop(tx_hash, None)
+        if tx is not None:
+            self._order_cache = None
+            sender_key = tx.sender.lower
+            by_nonce = self._by_sender.get(sender_key)
+            if by_nonce is not None:
+                hashes = by_nonce.get(tx.nonce)
+                if hashes is not None:
+                    try:
+                        hashes.remove(tx_hash)
+                    except ValueError:
+                        pass
+                    if not hashes:
+                        del by_nonce[tx.nonce]
+                if not by_nonce:
+                    del self._by_sender[sender_key]
+        return tx
 
     def get(self, tx_hash: str) -> Optional[Transaction]:
         """Look up a pending transaction by hash."""
@@ -70,10 +103,24 @@ class Mempool:
 
     def pending(self) -> List[Transaction]:
         """All pending transactions, fee-priority ordered."""
-        return sorted(
-            self._pending.values(),
-            key=lambda tx: (-tx.gas_price, self._arrival[tx.hash_hex]),
-        )
+        if self._order_cache is None:
+            self._order_cache = sorted(
+                self._pending.values(),
+                key=lambda tx: (-tx.gas_price, self._arrival[tx.hash_hex]),
+            )
+        return list(self._order_cache)
+
+    def pending_count(self, sender_key: str) -> int:
+        """Number of pending transactions from ``sender_key`` (lowercase)."""
+        by_nonce = self._by_sender.get(sender_key)
+        if not by_nonce:
+            return 0
+        return sum(len(hashes) for hashes in by_nonce.values())
+
+    def pending_nonces(self, sender_key: str) -> List[int]:
+        """Sorted pending nonces of ``sender_key`` (lowercase)."""
+        by_nonce = self._by_sender.get(sender_key)
+        return sorted(by_nonce) if by_nonce else []
 
     def select_for_block(self, state: WorldState, gas_limit: int, max_count: int = 500) -> List[Transaction]:
         """Choose transactions for the next block.
@@ -83,31 +130,35 @@ class Mempool:
         included in nonce order.
         """
         selected: List[Transaction] = []
-        selected_hashes: set = set()
         gas_budget = gas_limit
         next_nonce: Dict[str, int] = {}
         # Repeat fee-priority passes until no more transactions become
         # eligible: selecting a sender's nonce-n transaction unlocks its
-        # nonce-n+1 transaction on the next pass.
+        # nonce-n+1 transaction on the next pass.  Each pass walks only the
+        # not-yet-selected candidates (in the one fee-priority order computed
+        # up front), which preserves the historical multi-pass selection
+        # order without re-sorting the pool every pass.
+        remaining = self.pending()
         progressed = True
-        while progressed and len(selected) < max_count:
+        while progressed and remaining and len(selected) < max_count:
             progressed = False
-            for tx in self.pending():
+            deferred: List[Transaction] = []
+            for index, tx in enumerate(remaining):
                 if len(selected) >= max_count:
+                    deferred.extend(remaining[index:])
                     break
-                if tx.hash_hex in selected_hashes:
-                    continue
                 sender_key = tx.sender.lower
-                expected = next_nonce.get(sender_key, state.nonce_of(tx.sender))
-                if tx.nonce != expected:
-                    continue
-                if tx.gas_limit > gas_budget:
+                expected = next_nonce.get(sender_key)
+                if expected is None:
+                    expected = state.nonce_of(tx.sender)
+                if tx.nonce != expected or tx.gas_limit > gas_budget:
+                    deferred.append(tx)
                     continue
                 selected.append(tx)
-                selected_hashes.add(tx.hash_hex)
                 gas_budget -= tx.gas_limit
                 next_nonce[sender_key] = expected + 1
                 progressed = True
+            remaining = deferred
         return selected
 
     def stats(self) -> Dict[str, int]:
@@ -120,11 +171,12 @@ class Mempool:
 
     def prune_stale(self, state: WorldState) -> int:
         """Evict transactions whose nonce is already below the account nonce."""
-        stale = [
-            tx_hash
-            for tx_hash, tx in self._pending.items()
-            if tx.nonce < state.nonce_of(tx.sender)
-        ]
+        stale: List[str] = []
+        for sender_key, by_nonce in self._by_sender.items():
+            account_nonce = state.nonce_of(sender_key)
+            for nonce, hashes in by_nonce.items():
+                if nonce < account_nonce:
+                    stale.extend(hashes)
         for tx_hash in stale:
             self.remove(tx_hash)
         return len(stale)

@@ -158,8 +158,9 @@ class EthereumNode:
         """Next usable nonce, accounting for queued-but-unmined transactions."""
         addr = Address(address)
         base = self.chain.state.nonce_of(addr)
-        queued = sum(1 for tx in self.chain.mempool.pending() if tx.sender == addr)
-        return base + queued
+        # The mempool's sender index replaces the historical scan over the
+        # whole fee-ordered pool; the count is identical.
+        return base + self.chain.mempool.pending_count(addr.lower)
 
     def wait_for_receipt(self, tx_hash: str, max_blocks: int = 25) -> TransactionReceipt:
         """Produce blocks until ``tx_hash`` is included; return its receipt.
@@ -279,4 +280,4 @@ class EthereumNode:
 
     def mine(self, blocks: int = 1) -> List[Block]:
         """Explicitly produce ``blocks`` blocks (advancing the clock each slot)."""
-        return [self.chain.produce_block() for _ in range(blocks)]
+        return self.chain.produce_blocks(count=blocks)

@@ -7,7 +7,7 @@ bump and storage write it made, exactly as the EVM does.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List
 
 from repro.errors import InsufficientFundsError
 from repro.chain.account import Account, Address

@@ -13,8 +13,8 @@ the evaluation cares about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional
 
 from repro.errors import InvalidSignatureError, InvalidTransactionError
 from repro.chain.account import Address
@@ -78,6 +78,30 @@ class Transaction:
     gas_price: int = 10**9
     signature: Optional[Signature] = None
 
+    #: Fields that feed :meth:`signing_payload`; assigning any of them drops
+    #: the cached payload/hash and the memoized verification verdict.
+    _IDENTITY_FIELDS = frozenset(
+        {"sender", "to", "value", "data", "nonce", "gas_limit", "gas_price"}
+    )
+
+    # Class-level defaults (ClassVar: not dataclass fields) so the caches
+    # exist before __init__ assigns the real fields; instances shadow them.
+    _payload_cache: ClassVar[Optional[bytes]] = None
+    _hash_cache: ClassVar[Optional[bytes]] = None
+    _hash_hex_cache: ClassVar[Optional[str]] = None
+    _verified_signature: ClassVar[Optional[Signature]] = None
+    _verified_ok: ClassVar[bool] = False
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        object.__setattr__(self, name, value)
+        if name in Transaction._IDENTITY_FIELDS:
+            object.__setattr__(self, "_payload_cache", None)
+            object.__setattr__(self, "_hash_cache", None)
+            object.__setattr__(self, "_hash_hex_cache", None)
+            object.__setattr__(self, "_verified_signature", None)
+        elif name == "signature":
+            object.__setattr__(self, "_verified_signature", None)
+
     def __post_init__(self) -> None:
         self.sender = Address(self.sender)
         if self.to is not None:
@@ -102,26 +126,43 @@ class Transaction:
         return self.to is None
 
     def signing_payload(self) -> bytes:
-        """The RLP-style byte string that is hashed and signed."""
-        return rlp_encode([
-            self.nonce,
-            self.gas_price,
-            self.gas_limit,
-            (str(self.to).lower() if self.to is not None else ""),
-            self.value,
-            self.data,
-            str(self.sender).lower(),
-        ])
+        """The RLP-style byte string that is hashed and signed.
+
+        Cached: the identity fields are fixed after construction (assigning
+        one invalidates the cache), and the payload is re-encoded on every
+        hash access otherwise -- a measurable cost on the mempool hot path.
+        """
+        payload = self._payload_cache
+        if payload is None:
+            payload = rlp_encode([
+                self.nonce,
+                self.gas_price,
+                self.gas_limit,
+                (str(self.to).lower() if self.to is not None else ""),
+                self.value,
+                self.data,
+                str(self.sender).lower(),
+            ])
+            object.__setattr__(self, "_payload_cache", payload)
+        return payload
 
     @property
     def hash(self) -> bytes:
         """32-byte transaction hash (over the unsigned payload)."""
-        return keccak256(self.signing_payload())
+        digest = self._hash_cache
+        if digest is None:
+            digest = keccak256(self.signing_payload())
+            object.__setattr__(self, "_hash_cache", digest)
+        return digest
 
     @property
     def hash_hex(self) -> str:
         """Hex-encoded transaction hash, as shown by explorers."""
-        return to_hex(self.hash)
+        hex_hash = self._hash_hex_cache
+        if hex_hash is None:
+            hex_hash = to_hex(self.hash)
+            object.__setattr__(self, "_hash_hex_cache", hex_hash)
+        return hex_hash
 
     # -- signing ------------------------------------------------------------
 
@@ -135,14 +176,27 @@ class Transaction:
         return self
 
     def verify_signature(self) -> bool:
-        """Check that the attached signature was produced by :attr:`sender`."""
-        if self.signature is None:
+        """Check that the attached signature was produced by :attr:`sender`.
+
+        The verdict is memoized per (signature, identity-fields) pair: a
+        transaction is verified on submission, again by the mempool and a
+        third time at block execution, and the Schnorr check is by far the
+        most expensive step on the ingest path.  Mutating any identity field
+        or the signature drops the memo.
+        """
+        signature = self.signature
+        if signature is None:
             return False
+        if self._verified_signature is signature:
+            return self._verified_ok
         try:
-            recovered = recover_address(self.signature, self.hash)
+            recovered = recover_address(signature, self.hash)
+            verdict = Address(recovered) == self.sender
         except InvalidSignatureError:
-            return False
-        return Address(recovered) == self.sender
+            verdict = False
+        object.__setattr__(self, "_verified_ok", verdict)
+        object.__setattr__(self, "_verified_signature", signature)
+        return verdict
 
     # -- gas ----------------------------------------------------------------
 

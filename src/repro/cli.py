@@ -10,6 +10,11 @@ Subcommands
     tasks, adversarial owner populations, lossy networks -- and print the
     scenario report (throughput, mempool depth, gas, accuracy vs adversary
     fraction).
+``loadgen``
+    Drive an open-/closed-loop workload (``repro.loadgen``) at the JSON-RPC
+    gateway: thousands of simulated clients, Zipf-skewed and bursty request
+    mixes, latency percentiles and error rates -- or sweep offered rates to
+    find the saturation knee and measure wall-clock tx-ingest throughput.
 ``rpc``
     Ad-hoc JSON-RPC calls against the gateway (``repro.rpc``): list the
     served methods, issue a single ``eth_*``/``ipfs_*``/``oflw3_*`` call or
@@ -102,6 +107,38 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fraction of owners that upload junk models")
     sim_parser.add_argument("--save", default=None, metavar="PATH",
                             help="save the scenario report to a JSON file")
+
+    load_parser = subparsers.add_parser(
+        "loadgen", help="drive skewed/bursty load at the gateway (repro.loadgen)")
+    load_parser.add_argument("--clients", type=int, default=100,
+                             help="simulated client population (default: 100)")
+    load_parser.add_argument("--rate", type=float, default=20.0,
+                             help="open-loop arrivals per simulated second")
+    load_parser.add_argument("--duration", type=float, default=300.0,
+                             metavar="SECONDS", help="simulated load duration")
+    load_parser.add_argument("--mode", choices=["open", "closed"], default="open",
+                             help="open loop (arrival process) or closed loop "
+                                  "(think/request/wait clients)")
+    load_parser.add_argument("--arrival", default="poisson",
+                             choices=["uniform", "poisson", "ramp", "flashcrowd"],
+                             help="open-loop arrival process (default: poisson)")
+    load_parser.add_argument("--mix", default=None, metavar="SPEC",
+                             help="request mix, e.g. transfer=0.5,read=0.35,ipfs=0.15")
+    load_parser.add_argument("--zipf", type=float, default=1.1, metavar="EXPONENT",
+                             help="sender/content popularity skew (0 = uniform)")
+    load_parser.add_argument("--think", type=float, default=10.0, metavar="SECONDS",
+                             help="closed-loop mean think time")
+    load_parser.add_argument("--rate-limit", type=float, default=None,
+                             help="gateway token-bucket rate (requests per "
+                                  "simulated second)")
+    load_parser.add_argument("--seed", type=int, default=7,
+                             help="deterministic seed for arrivals and skew")
+    load_parser.add_argument("--sweep", default=None, metavar="RATES",
+                             help="comma-separated offered rates (e.g. 10,40,80,160) "
+                                  "or 'auto'; runs a saturation sweep and the "
+                                  "wall-clock tx-ingest measurement")
+    load_parser.add_argument("--save", default=None, metavar="PATH",
+                             help="save the load/sweep report to a JSON file")
 
     rpc_parser = subparsers.add_parser(
         "rpc", help="issue ad-hoc JSON-RPC calls against the gateway")
@@ -277,6 +314,53 @@ def _command_simulate(args: argparse.Namespace) -> int:
         target = save_json(report.to_dict(), args.save)
         print(f"\nscenario report saved to {target}")
     return 0 if report.tasks_failed == 0 else 3
+
+
+def _command_loadgen(args: argparse.Namespace) -> int:
+    """Implement the ``loadgen`` subcommand."""
+    from repro.errors import ReproError
+    from repro.loadgen import LoadGenConfig, LoadGenerator, RequestMix, run_sweep
+
+    try:
+        mix = (RequestMix.parse(args.mix).to_dict() if args.mix is not None
+               else None)
+        config = LoadGenConfig(
+            clients=args.clients,
+            duration_seconds=args.duration,
+            rate=args.rate,
+            mode=args.mode,
+            arrival=args.arrival,
+            think_time_seconds=args.think,
+            zipf_exponent=args.zipf,
+            rate_limit=args.rate_limit,
+            seed=args.seed,
+            **({"mix": mix} if mix is not None else {}),
+        )
+        if args.sweep is not None:
+            if args.sweep == "auto":
+                rates = [args.rate, args.rate * 2, args.rate * 4, args.rate * 8]
+            else:
+                rates = [float(rate) for rate in args.sweep.split(",") if rate.strip()]
+            print(f"sweeping offered rates {[round(r, 1) for r in sorted(rates)]} "
+                  f"({config.clients} clients, {config.duration_seconds:.0f}s "
+                  f"simulated each, seed {config.seed})...")
+            report = run_sweep(config, rates)
+        else:
+            print(f"generating load: {config.clients} clients, "
+                  f"{config.mode} loop at {config.rate}/s ({config.arrival}), "
+                  f"{config.duration_seconds:.0f}s simulated, seed {config.seed}...")
+            report = LoadGenerator(config).run()
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(report.summary())
+    if args.save:
+        from repro.system.artifacts import save_json
+
+        target = save_json(report.to_dict(), args.save)
+        print(f"\nload report saved to {target}")
+    return 0
 
 
 def _command_rpc(args: argparse.Namespace) -> int:
@@ -478,7 +562,7 @@ def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
     print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
-          "storage, system, simnet")
+          "storage, system, simnet, loadgen")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
           "repro.rpc.MarketplaceClient, repro.storage.recover_node")
     print("docs: README.md, docs/architecture.md, docs/rpc.md")
@@ -496,6 +580,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_run(args)
     if args.command == "simulate":
         return _command_simulate(args)
+    if args.command == "loadgen":
+        return _command_loadgen(args)
     if args.command == "rpc":
         return _command_rpc(args)
     if args.command == "storage":

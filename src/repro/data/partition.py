@@ -18,7 +18,7 @@ client, and guarantee every client receives at least ``min_samples`` samples.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -20,9 +20,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.errors import IncentiveError
 from repro.utils.rng import make_rng

@@ -9,7 +9,7 @@ relies on when buyers fetch models uploaded by unknown owners.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.ipfs.cid import CID, DAG_PB_CODEC, RAW_CODEC
 from repro.utils.serialization import canonical_dumps, canonical_loads

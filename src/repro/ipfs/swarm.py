@@ -15,7 +15,7 @@ default) the swarm is the original ideal zero-cost LAN.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, TYPE_CHECKING
 
 from repro.errors import BlockNotFoundError

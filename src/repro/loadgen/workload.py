@@ -1,0 +1,113 @@
+"""Request mixes and the simulated client population.
+
+A :class:`RequestMix` is a weighted choice over the operation kinds the
+driver knows how to fire against the JSON-RPC gateway:
+
+========== ==================================================================
+transfer   sign a value transfer and broadcast it (``eth_sendRawTransaction``)
+read       a chain read (``eth_getBalance`` / ``eth_blockNumber``)
+ipfs       fetch a pre-seeded object (``ipfs_cat``), Zipf-skewed over CIDs
+oflw3      a marketplace backend route (``oflw3_health`` / ``oflw3_task``);
+           requires a backend on the gateway, otherwise re-drawn as a read
+========== ==================================================================
+
+The client population is a deterministic set of labeled key pairs, funded by
+the faucet, whose activity is Zipf-skewed: a few hot senders produce most of
+the traffic, as in any real marketplace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.chain.account import Address
+from repro.chain.keys import KeyPair
+from repro.errors import SimulationError
+from repro.utils.rng import SeedLike, make_rng
+
+OP_KINDS = ("transfer", "read", "ipfs", "oflw3")
+
+DEFAULT_MIX: Dict[str, float] = {"transfer": 0.5, "read": 0.35, "ipfs": 0.15}
+
+
+class RequestMix:
+    """A normalized weighted choice over operation kinds."""
+
+    def __init__(self, weights: Dict[str, float], seed: SeedLike = None) -> None:
+        unknown = sorted(set(weights) - set(OP_KINDS))
+        if unknown:
+            raise SimulationError(
+                f"unknown operation kinds {unknown}; choose from {sorted(OP_KINDS)}")
+        positive = {kind: float(weight) for kind, weight in weights.items()
+                    if weight > 0}
+        if not positive:
+            raise SimulationError("the request mix needs at least one positive weight")
+        if any(weight < 0 for weight in weights.values()):
+            raise SimulationError(f"mix weights must be non-negative: {weights}")
+        total = sum(positive.values())
+        self.weights = {kind: weight / total for kind, weight in sorted(positive.items())}
+        self._kinds = list(self.weights)
+        self._cdf = np.cumsum([self.weights[kind] for kind in self._kinds])
+        self._rng = make_rng(seed, "request-mix")
+
+    def weight(self, kind: str) -> float:
+        """Normalized weight of ``kind`` (0.0 when absent)."""
+        return self.weights.get(kind, 0.0)
+
+    def sample(self) -> str:
+        """Draw one operation kind."""
+        index = int(np.searchsorted(self._cdf, self._rng.random(), side="right"))
+        return self._kinds[min(index, len(self._kinds) - 1)]
+
+    def to_dict(self) -> Dict[str, float]:
+        return {kind: round(weight, 6) for kind, weight in self.weights.items()}
+
+    @classmethod
+    def parse(cls, spec: str, seed: SeedLike = None) -> "RequestMix":
+        """Parse a CLI mix spec like ``transfer=0.5,read=0.3,ipfs=0.2``."""
+        weights: Dict[str, float] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise SimulationError(
+                    f"mix entries look like kind=weight, got {part!r}")
+            kind, _, raw = part.partition("=")
+            try:
+                weights[kind.strip()] = float(raw)
+            except ValueError as exc:
+                raise SimulationError(f"bad mix weight in {part!r}: {exc}") from exc
+        return cls(weights, seed=seed)
+
+
+class ClientPool:
+    """A deterministic population of funded client key pairs.
+
+    Keys derive from labels (``loadgen-client-<i>``) so the same seed and
+    client count reproduce the same addresses -- and with them the same
+    transaction hashes -- across runs.
+    """
+
+    def __init__(self, size: int, label_prefix: str = "loadgen") -> None:
+        if size <= 0:
+            raise SimulationError(f"the client pool needs at least one client, got {size}")
+        self.size = int(size)
+        self.keypairs: List[KeyPair] = [
+            KeyPair.from_label(f"{label_prefix}-client-{index}")
+            for index in range(self.size)
+        ]
+        self.addresses: List[Address] = [
+            Address(keypair.address) for keypair in self.keypairs
+        ]
+        #: Client-side nonce counters (incremented only on accepted submits,
+        #: so a rejected submission retries the same nonce and the per-sender
+        #: nonce sequence never gaps).
+        self.next_nonce: List[int] = [0] * self.size
+
+    def fund(self, faucet, amount_wei: int) -> None:
+        """Drip ``amount_wei`` to every client."""
+        for keypair in self.keypairs:
+            faucet.drip(keypair.address, amount_wei)

@@ -168,9 +168,14 @@ class JsonRpcGateway:
     def _run(self, request: RpcRequest) -> Any:
         """Run the middleware chain around :meth:`_invoke`."""
         if self._pipeline is None:
+            def bind(mw, nxt) -> Callable[[RpcRequest], Any]:
+                def step(req: RpcRequest) -> Any:
+                    return mw(req, nxt)
+                return step
+
             call_next: Callable[[RpcRequest], Any] = self._invoke
             for layer in reversed(self._middleware):
-                call_next = (lambda req, mw=layer, nxt=call_next: mw(req, nxt))
+                call_next = bind(layer, call_next)
             self._pipeline = call_next
         return self._pipeline(request)
 

@@ -21,7 +21,6 @@ Hooks (all deterministic given the owner's seeded generator):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np

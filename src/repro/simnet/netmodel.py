@@ -17,8 +17,8 @@ replays identically for a given seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.utils.rng import SeedLike, make_rng
 

@@ -83,6 +83,9 @@ class ScenarioReport:
     rpc_stats: Optional[Dict[str, Any]] = None
     node_restarts: int = 0
     storage_stats: Optional[Dict[str, Any]] = None
+    #: Deterministic metrics of the scenario's background load run
+    #: (``repro.loadgen``), when the spec configured one.
+    load_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -137,6 +140,7 @@ class ScenarioReport:
             "rpc": self.rpc_stats,
             "node_restarts": self.node_restarts,
             "storage": self.storage_stats,
+            "load": self.load_stats,
         }
 
     # -- rendering ---------------------------------------------------------------
@@ -181,6 +185,14 @@ class ScenarioReport:
                 f"cache hits={cache.get('hits', 0)}/"
                 f"{cache.get('hits', 0) + cache.get('misses', 0)} "
                 f"({cache.get('evictions', 0)} evictions)")
+        if self.load_stats is not None:
+            conf = self.load_stats.get("tx_confirmation_seconds", {})
+            lines.append(
+                f"load:       {self.load_stats.get('requests_total', 0)} background "
+                f"requests ({100 * self.load_stats.get('error_rate', 0.0):.2f}% errors), "
+                f"{self.load_stats.get('tx_mined', 0)}/{self.load_stats.get('tx_submitted', 0)} "
+                f"transfers mined, confirmation p50/p99 "
+                f"{conf.get('p50', 0):.1f}/{conf.get('p99', 0):.1f} s")
         if self.rpc_stats is not None:
             top = ", ".join(
                 f"{method} x{count}"

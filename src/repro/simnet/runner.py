@@ -143,6 +143,7 @@ class ScenarioRunner:
         self.tasks: List[_TaskRuntime] = []
         self._active_tasks = 0
         self._mempool_series: List[Tuple[float, int]] = []
+        self._loadgen = None  # built in run() when the spec asks for load
 
     # -- construction -----------------------------------------------------------
 
@@ -346,6 +347,43 @@ class ScenarioRunner:
             else:
                 yield slot
 
+    def _install_background_load(self) -> None:
+        """Attach a ``repro.loadgen`` driver to this scenario's shared stack.
+
+        The load generator's clients are extra marketplace users: their
+        transfers, chain reads and ``ipfs_cat`` fetches cross the same
+        gateway, mempool and swarm as the tasks' traffic, skewed and bursty
+        per the spec's ``background_load`` overrides.  Imported lazily --
+        ``repro.loadgen`` builds on ``repro.simnet``, not the other way
+        around.
+        """
+        from repro.loadgen import LoadGenConfig, LoadGenerator
+
+        overrides = dict(self.spec.background_load)
+        delay = float(overrides.pop("delay", 0.0))
+        overrides.setdefault("seed", derive_seed(self.seed, "background-load"))
+        try:
+            config = LoadGenConfig(**overrides)
+        except TypeError as exc:
+            # A typo'd override key would otherwise surface as a raw
+            # TypeError; name the valid keys like every other spec error.
+            import dataclasses
+
+            valid = sorted(f.name for f in dataclasses.fields(LoadGenConfig))
+            raise SimulationError(
+                f"bad background_load overrides ({exc}); valid keys are "
+                f"{valid} plus 'delay'") from exc
+        self._loadgen = LoadGenerator(
+            config,
+            scheduler=self.scheduler,
+            node_fn=lambda: self.node,
+            rpc=self.rpc,
+            faucet=self.faucet,
+            swarm=self.swarm,
+            label_prefix="bg",
+        )
+        self._loadgen.install(delay=delay)
+
     def _fail(self, task: _TaskRuntime, reason: str) -> None:
         task.outcome.status = "failed"
         task.outcome.failure = reason
@@ -395,6 +433,8 @@ class ScenarioRunner:
                 self.scheduler.spawn(self._block_producer(), name="block-producer")
             if self.spec.node_restart_at_seconds is not None:
                 self.scheduler.spawn(self._chaos_process(), name="chaos-restart")
+            if self.spec.background_load is not None:
+                self._install_background_load()
             self.scheduler.run(max_events=max_events)
         finally:
             self.clock.unsubscribe(self._sample_mempool)
@@ -445,6 +485,8 @@ class ScenarioRunner:
             rpc_stats=rpc_stats,
             node_restarts=self.node_restarts,
             storage_stats=self.storage.describe(),
+            load_stats=(self._loadgen.finalize().sim_dict()
+                        if self._loadgen is not None else None),
         )
 
     # -- results access ----------------------------------------------------------

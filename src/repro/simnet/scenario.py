@@ -20,6 +20,11 @@ concurrent N tasks (default 5) with staggered starts sharing one chain node
 rpc_storm  concurrent tasks whose every chain/IPFS call crosses one shared,
            metered JSON-RPC gateway (the report carries the gateway's
            request metrics)
+flashcrowd two tasks while skewed background traffic (``repro.loadgen``)
+           spikes to 10x its base rate mid-run -- a flash crowd at the
+           shared gateway
+soak       three staggered tasks under steady Poisson background load for
+           a long sustained run
 lossy      one task on a congested WAN (latency, jitter, 15% drops)
 churn      one task with dropouts and stragglers
 restart    the chain node is killed mid-task and recovered from its
@@ -81,6 +86,13 @@ class ScenarioSpec:
     the recovered node must reach the identical chain head, so a scenario
     with a restart reproduces the same figures as one without."""
 
+    background_load: Optional[Dict[str, Any]] = None
+    """Overrides for a :class:`repro.loadgen.LoadGenConfig` driving skewed
+    background traffic (transfers, chain reads, ``ipfs_cat``) at the shared
+    gateway while the marketplace tasks run.  ``None`` -- the default, and
+    the seed-exact setting -- runs no background load.  The scenario report
+    carries the load run's deterministic metrics under ``load_stats``."""
+
     def __post_init__(self) -> None:
         if self.num_tasks <= 0:
             raise SimulationError(f"num_tasks must be positive, got {self.num_tasks}")
@@ -102,6 +114,10 @@ class ScenarioSpec:
             raise SimulationError(
                 f"node_restart_at_seconds must be positive, "
                 f"got {self.node_restart_at_seconds}")
+        if self.background_load is not None and not isinstance(self.background_load, dict):
+            raise SimulationError(
+                "background_load must be a dict of LoadGenConfig overrides, "
+                f"got {type(self.background_load).__name__}")
 
     @property
     def is_seed_exact(self) -> bool:
@@ -109,7 +125,8 @@ class ScenarioSpec:
         return (self.num_tasks == 1 and not self.behavior_fractions
                 and self.network_profile == "ideal" and not self.async_submissions
                 and self.rpc_rate_limit is None
-                and self.node_restart_at_seconds is None)
+                and self.node_restart_at_seconds is None
+                and self.background_load is None)
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy of this spec with the given fields replaced."""
@@ -127,6 +144,8 @@ class ScenarioSpec:
             "rpc_rate_limit": self.rpc_rate_limit,
             "rpc_rate_burst": self.rpc_rate_burst,
             "node_restart_at_seconds": self.node_restart_at_seconds,
+            "background_load": (dict(self.background_load)
+                                if self.background_load is not None else None),
         }
 
 
@@ -166,6 +185,37 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
         description="owners churn out mid-task and stragglers upload late",
         behavior_fractions={"dropout": 0.2, "straggler": 0.3},
         behavior_kwargs={"straggler": {"mean_delay_seconds": 240.0}},
+    ),
+    "flashcrowd": ScenarioSpec(
+        name="flashcrowd",
+        description="a flash crowd slams the gateway mid-scenario: skewed "
+                    "background reads/transfers spike to 10x their base rate "
+                    "while two marketplace tasks keep running",
+        num_tasks=2,
+        task_stagger_seconds=60.0,
+        async_submissions=True,
+        background_load={
+            "clients": 200,
+            "rate": 8.0,
+            "arrival": "flashcrowd",
+            "duration_seconds": 360.0,
+            "mix": {"read": 0.6, "transfer": 0.25, "ipfs": 0.15},
+        },
+    ),
+    "soak": ScenarioSpec(
+        name="soak",
+        description="a long sustained soak: staggered tasks plus steady "
+                    "Poisson background load exercise the mempool, gateway "
+                    "and block production for the whole run",
+        num_tasks=3,
+        task_stagger_seconds=120.0,
+        async_submissions=True,
+        background_load={
+            "clients": 150,
+            "rate": 3.0,
+            "arrival": "poisson",
+            "duration_seconds": 900.0,
+        },
     ),
     "restart": ScenarioSpec(
         name="restart",

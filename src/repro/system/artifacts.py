@@ -11,7 +11,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Union
 
 from repro.system.config import OFLW3Config
 from repro.system.orchestrator import MarketplaceReport

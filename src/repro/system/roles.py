@@ -7,8 +7,8 @@ executes its part of the workflow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Optional
+from dataclasses import replace
+from typing import Any, Dict, Optional
 
 from repro.data.dataset import Dataset
 from repro.utils.rng import make_rng

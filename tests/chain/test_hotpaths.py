@@ -1,0 +1,249 @@
+"""Correctness guards for the ingest hot-path optimizations.
+
+The fast paths (fixed-base comb exponentiation, memoized verification,
+cached hashes, mempool indexes) must be behaviour-preserving: these tests
+pin the equivalences and the cache-invalidation edges that keep them safe.
+"""
+
+import pytest
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.chain.account import Address, address_cache_stats
+from repro.chain.keys import (
+    GENERATOR,
+    GROUP_ORDER,
+    GROUP_PRIME,
+    _GENERATOR_COMB,
+    Signature,
+    verify_signature,
+)
+from repro.chain.mempool import Mempool
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.utils.hashing import keccak256
+from repro.utils.units import ether_to_wei
+
+
+def signed_transfer(label, nonce=0, gas_price=10**9, to_label="sink", value=1):
+    keypair = KeyPair.from_label(label)
+    tx = Transaction(
+        sender=Address(keypair.address),
+        to=Address(KeyPair.from_label(to_label).address),
+        value=value,
+        nonce=nonce,
+        gas_limit=21_000,
+        gas_price=gas_price,
+    )
+    tx.sign(keypair)
+    return tx
+
+
+class TestFixedBaseComb:
+    @pytest.mark.parametrize("exponent", [
+        0, 1, 2, 31, 32, (1 << 255) - 19, GROUP_ORDER - 1, GROUP_ORDER,
+        123456789012345678901234567890,
+    ])
+    def test_matches_builtin_pow(self, exponent):
+        assert _GENERATOR_COMB.pow(exponent) == pow(GENERATOR, exponent, GROUP_PRIME)
+
+    def test_signature_vectors_unchanged(self):
+        # Signing is deterministic; the comb must not perturb the vectors a
+        # seed-era signer would have produced.
+        keypair = KeyPair.from_label("comb-vector")
+        message = keccak256(b"comb-vector-message")
+        signature = keypair.sign(message)
+        commitment_free = pow(GENERATOR, signature.s, GROUP_PRIME)
+        assert _GENERATOR_COMB.pow(signature.s) == commitment_free
+        assert verify_signature(signature, message, keypair.address)
+
+    def test_generator_order_divides_group_order(self):
+        # The comb reduces exponents mod GROUP_ORDER; that is exact only
+        # because the generator's multiplicative order divides it.
+        assert pow(GENERATOR, GROUP_ORDER, GROUP_PRIME) == 1
+
+    def test_huge_hostile_exponent_stays_bounded(self):
+        # A wire signature can carry an arbitrarily large 's'.  The comb
+        # must neither grow its table past the order size nor change the
+        # result.
+        keypair = KeyPair.from_label("comb-huge")
+        message = keccak256(b"huge")
+        signature = keypair.sign(message)
+        huge_s = signature.s + GROUP_ORDER * (1 << 4096)
+        forged = Signature(e=signature.e, s=huge_s, public_key=signature.public_key)
+        rows_cap = GROUP_ORDER.bit_length() // _GENERATOR_COMB.window_bits + 1
+        # g^(s + k*order) == g^s: the forged signature still *verifies* (it
+        # is the same group element), which is standard for Schnorr -- the
+        # point here is the bounded table and the exact result.
+        assert verify_signature(forged, message, keypair.address)
+        assert len(_GENERATOR_COMB._rows) <= rows_cap
+        assert _GENERATOR_COMB.pow(huge_s) == pow(GENERATOR, huge_s, GROUP_PRIME)
+
+    def test_tampered_signature_still_rejected(self):
+        keypair = KeyPair.from_label("comb-tamper")
+        message = keccak256(b"payload")
+        signature = keypair.sign(message)
+        forged = Signature(e=signature.e, s=(signature.s + 1) % GROUP_ORDER,
+                           public_key=signature.public_key)
+        assert not verify_signature(forged, message)
+        assert not verify_signature(signature, keccak256(b"other payload"))
+
+
+class TestTransactionCaches:
+    def test_hash_stable_and_cached(self):
+        tx = signed_transfer("cache-a")
+        first = tx.hash
+        assert tx.hash is first  # cached object, not a re-computation
+        assert tx.hash_hex == tx.hash.hex() or tx.hash_hex.startswith("0x")
+
+    def test_mutating_identity_field_invalidates_hash(self):
+        tx = signed_transfer("cache-b")
+        before = tx.hash_hex
+        tx.nonce = 7
+        assert tx.hash_hex != before
+
+    def test_verification_memo_hits(self):
+        tx = signed_transfer("cache-c")
+        assert tx.verify_signature()
+        assert tx.verify_signature()  # memoized verdict
+
+    def test_mutation_invalidates_verification(self):
+        tx = signed_transfer("cache-d")
+        assert tx.verify_signature()
+        tx.value = 999  # signature no longer covers the payload
+        assert not tx.verify_signature()
+
+    def test_replacing_signature_invalidates_memo(self):
+        tx = signed_transfer("cache-e")
+        assert tx.verify_signature()
+        other = KeyPair.from_label("cache-e-other")
+        tx.signature = other.sign(tx.hash)  # wrong signer for this sender
+        assert not tx.verify_signature()
+
+    def test_from_dict_round_trip_verifies(self):
+        tx = signed_transfer("cache-f")
+        clone = Transaction.from_dict(tx.to_dict())
+        assert clone.hash_hex == tx.hash_hex
+        assert clone.verify_signature()
+
+
+class TestAddressInterning:
+    def test_chain_import_does_not_load_storage(self):
+        # The interning cache lives in repro.utils.cache precisely so the
+        # chain package keeps its documented one-way dependency (storage
+        # imports the chain for recovery, never the reverse).
+        import subprocess
+        import sys
+
+        code = ("import sys, repro.chain; "
+                "bad = [m for m in sys.modules if m.startswith('repro.storage')]; "
+                "raise SystemExit(1 if bad else 0)")
+        result = subprocess.run([sys.executable, "-c", code])
+        assert result.returncode == 0
+
+    def test_lowercase_and_checksummed_forms_share_a_slot(self):
+        keypair = KeyPair.from_label("intern-fold")
+        checksummed = Address(keypair.address)
+        misses_after_first = address_cache_stats()["misses"]
+        lowered = Address(keypair.address.lower())
+        stats = address_cache_stats()
+        assert stats["misses"] == misses_after_first  # second form was a hit
+        assert lowered == checksummed
+
+    def test_equal_addresses_share_checksum(self):
+        keypair = KeyPair.from_label("intern")
+        a = Address(keypair.address)
+        b = Address(keypair.address.upper().replace("0X", "0x"))
+        assert a == b
+        assert str(a) == str(b)
+        assert a.lower == b.lower
+
+    def test_cache_accumulates_hits(self):
+        keypair = KeyPair.from_label("intern-hits")
+        Address(keypair.address)
+        before = address_cache_stats()["hits"]
+        Address(keypair.address)
+        assert address_cache_stats()["hits"] > before
+
+
+class TestMempoolIndexes:
+    def make_pool_with(self, *txs):
+        pool = Mempool()
+        for tx in txs:
+            pool.add(tx)
+        return pool
+
+    def test_pending_count_and_nonces(self):
+        t0 = signed_transfer("idx-a", nonce=0)
+        t1 = signed_transfer("idx-a", nonce=1)
+        other = signed_transfer("idx-b", nonce=0)
+        pool = self.make_pool_with(t0, t1, other)
+        sender = t0.sender.lower
+        assert pool.pending_count(sender) == 2
+        assert pool.pending_nonces(sender) == [0, 1]
+        assert pool.pending_count(other.sender.lower) == 1
+        assert pool.pending_count("0x" + "00" * 20) == 0
+
+    def test_remove_maintains_index(self):
+        t0 = signed_transfer("idx-c", nonce=0)
+        t1 = signed_transfer("idx-c", nonce=1)
+        pool = self.make_pool_with(t0, t1)
+        pool.remove(t0.hash_hex)
+        sender = t0.sender.lower
+        assert pool.pending_count(sender) == 1
+        assert pool.pending_nonces(sender) == [1]
+        pool.remove(t1.hash_hex)
+        assert pool.pending_count(sender) == 0
+        assert pool.pending_nonces(sender) == []
+
+    def test_pending_order_cache_invalidates_on_add(self):
+        cheap = signed_transfer("idx-d", nonce=0, gas_price=10**9)
+        pool = self.make_pool_with(cheap)
+        assert [t.hash_hex for t in pool.pending()] == [cheap.hash_hex]
+        rich = signed_transfer("idx-e", nonce=0, gas_price=5 * 10**9)
+        pool.add(rich)
+        assert [t.hash_hex for t in pool.pending()] == [rich.hash_hex, cheap.hash_hex]
+
+    def test_multipass_selection_order_preserved(self):
+        # The historical multi-pass semantics: a high-fee transaction whose
+        # nonce unlocks mid-pass waits for the NEXT pass, so lower-fee
+        # already-eligible transactions still come first.
+        state = WorldState()
+        s_low = signed_transfer("idx-s", nonce=0, gas_price=5 * 10**9)
+        s_high = signed_transfer("idx-s", nonce=1, gas_price=10 * 10**9)
+        z_mid = signed_transfer("idx-z", nonce=0, gas_price=4 * 10**9)
+        pool = self.make_pool_with(s_low, s_high, z_mid)
+        selected = pool.select_for_block(state, gas_limit=30_000_000)
+        assert [t.hash_hex for t in selected] == [
+            s_low.hash_hex, z_mid.hash_hex, s_high.hash_hex]
+
+    def test_prune_stale_uses_nonce_index(self):
+        stale = signed_transfer("idx-f", nonce=0)
+        fresh = signed_transfer("idx-f", nonce=3)
+        pool = self.make_pool_with(stale, fresh)
+        state = WorldState()
+        account = state.get_account(stale.sender)
+        account.nonce = 3
+        assert pool.prune_stale(state) == 1
+        assert stale.hash_hex not in pool
+        assert fresh.hash_hex in pool
+
+
+class TestBatchedProduction:
+    def test_produce_blocks_count_and_until_empty(self):
+        node = EthereumNode()
+        faucet = Faucet(node)
+        keypair = KeyPair.from_label("batch-prod")
+        faucet.drip(keypair.address, ether_to_wei(1))
+        for nonce in range(3):
+            tx = Transaction(sender=Address(keypair.address),
+                             to=Address(KeyPair.from_label("batch-sink").address),
+                             value=1, nonce=nonce, gas_limit=21_000)
+            tx.sign(keypair)
+            node.send_transaction(tx)
+        empty_then_mined = node.chain.produce_blocks(until_empty=True)
+        assert len(node.chain.mempool) == 0
+        assert sum(len(b.transactions) for b in empty_then_mined) == 3
+        two_more = node.mine(2)
+        assert len(two_more) == 2
+        assert all(not b.transactions for b in two_more)
+        assert node.chain.produce_blocks() == []  # no count, no drain: no-op

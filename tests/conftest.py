@@ -7,7 +7,6 @@ realistic artifacts.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.chain import EthereumNode, Faucet, KeyPair
@@ -21,7 +20,7 @@ from repro.data import (
 )
 from repro.fl import FLClient
 from repro.ml import TrainingConfig
-from repro.system import OFLW3Config, quick_config, run_marketplace
+from repro.system import quick_config, run_marketplace
 from repro.utils.clock import SimulatedClock
 from repro.utils.units import ether_to_wei, gwei_to_wei
 

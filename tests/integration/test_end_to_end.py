@@ -6,14 +6,13 @@ alternative aggregators, alternative partitioning, and multi-task reuse of
 one chain.
 """
 
-import pytest
 
 from repro.chain import EthereumNode, Faucet, KeyPair
 from repro.contracts import default_registry
 from repro.fl.model_update import ModelUpdate
 from repro.ipfs import IpfsNode, Swarm
 from repro.ml import MLP
-from repro.system import OFLW3Config, quick_config, run_marketplace
+from repro.system import quick_config, run_marketplace
 from repro.system.orchestrator import build_environment
 from repro.utils.units import ether_to_wei, gwei_to_wei
 

@@ -1,6 +1,5 @@
 """Failure-injection tests: the system must fail loudly and recover cleanly."""
 
-import numpy as np
 import pytest
 
 from repro.errors import (

@@ -1,0 +1,180 @@
+"""Arrival-process statistics: the distributions must match their math.
+
+Tolerances are generous enough to be seed-independent in principle, but the
+processes are seeded, so these tests are fully deterministic in practice.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.loadgen import (
+    FlashCrowdArrivals,
+    PoissonArrivals,
+    RampArrivals,
+    UniformArrivals,
+    ZipfSelector,
+    make_arrivals,
+)
+
+
+def draw_gaps(process, count, start=0.0):
+    now = start
+    gaps = []
+    for _ in range(count):
+        gap = process.next_gap(now)
+        gaps.append(gap)
+        now += gap
+    return gaps
+
+
+class TestPoisson:
+    def test_mean_gap_matches_rate(self):
+        rate = 8.0
+        gaps = draw_gaps(PoissonArrivals(rate, seed=11), 20_000)
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1.0 / rate, rel=0.05)
+
+    def test_variance_matches_exponential(self):
+        # An exponential's variance is the square of its mean.
+        rate = 4.0
+        gaps = draw_gaps(PoissonArrivals(rate, seed=3), 20_000)
+        mean = sum(gaps) / len(gaps)
+        variance = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert variance == pytest.approx((1.0 / rate) ** 2, rel=0.1)
+
+    def test_memorylessness_cv(self):
+        # Coefficient of variation of an exponential is 1.
+        gaps = draw_gaps(PoissonArrivals(2.0, seed=7), 20_000)
+        mean = sum(gaps) / len(gaps)
+        std = math.sqrt(sum((g - mean) ** 2 for g in gaps) / len(gaps))
+        assert std / mean == pytest.approx(1.0, rel=0.1)
+
+    def test_same_seed_same_schedule(self):
+        a = draw_gaps(PoissonArrivals(5.0, seed=42), 500)
+        b = draw_gaps(PoissonArrivals(5.0, seed=42), 500)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = draw_gaps(PoissonArrivals(5.0, seed=1), 50)
+        b = draw_gaps(PoissonArrivals(5.0, seed=2), 50)
+        assert a != b
+
+    def test_rejects_non_positive_rate(self):
+        with pytest.raises(SimulationError):
+            PoissonArrivals(0.0)
+
+
+class TestUniform:
+    def test_fixed_gap(self):
+        process = UniformArrivals(4.0)
+        assert draw_gaps(process, 10) == [0.25] * 10
+
+
+class TestRamp:
+    def test_rate_interpolates(self):
+        process = RampArrivals(start_rate=2.0, end_rate=10.0, duration=100.0, seed=5)
+        process.next_gap(0.0)  # anchors the ramp origin
+        assert process.rate_at(0.0) == pytest.approx(2.0)
+        assert process.rate_at(50.0) == pytest.approx(6.0)
+        assert process.rate_at(100.0) == pytest.approx(10.0)
+        assert process.rate_at(500.0) == pytest.approx(10.0)  # clamped
+
+    def test_gaps_shrink_along_the_ramp(self):
+        process = RampArrivals(start_rate=1.0, end_rate=50.0, duration=200.0, seed=9)
+        gaps = draw_gaps(process, 3_000)
+        early = gaps[:200]
+        late = gaps[-200:]
+        assert sum(early) / len(early) > sum(late) / len(late)
+
+
+class TestFlashCrowd:
+    def test_rate_spikes_in_window(self):
+        process = FlashCrowdArrivals(base_rate=2.0, spike_rate=40.0,
+                                     spike_start=60.0, spike_duration=30.0, seed=1)
+        process.next_gap(0.0)
+        assert process.rate_at(10.0) == pytest.approx(2.0)
+        assert process.rate_at(70.0) == pytest.approx(40.0)
+        assert process.rate_at(95.0) == pytest.approx(2.0)
+
+    def test_spike_compresses_gaps(self):
+        process = FlashCrowdArrivals(base_rate=2.0, spike_rate=100.0,
+                                     spike_start=50.0, spike_duration=50.0, seed=2)
+        now, in_spike, outside = 0.0, [], []
+        for _ in range(5_000):
+            gap = process.next_gap(now)
+            (in_spike if 50.0 <= now < 100.0 else outside).append(gap)
+            now += gap
+            if now > 150.0:
+                break
+        assert in_spike, "the spike window produced no arrivals"
+        assert (sum(in_spike) / len(in_spike)) < (sum(outside) / len(outside)) / 10
+
+
+class TestMakeArrivals:
+    def test_registry_covers_all_kinds(self):
+        assert isinstance(make_arrivals("uniform", 2.0), UniformArrivals)
+        assert isinstance(make_arrivals("poisson", 2.0, seed=1), PoissonArrivals)
+        assert isinstance(
+            make_arrivals("ramp", 8.0, seed=1, duration=100.0), RampArrivals)
+        assert isinstance(
+            make_arrivals("flashcrowd", 2.0, seed=1, spike_start=10.0,
+                          spike_duration=5.0, duration=60.0),
+            FlashCrowdArrivals)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            make_arrivals("bursty", 1.0)
+
+
+class TestZipfSelector:
+    def test_probabilities_follow_power_law(self):
+        selector = ZipfSelector(100, exponent=1.0, seed=0)
+        probs = selector.probabilities
+        # p(rank 0) / p(rank 9) == (10/1)^exponent
+        assert probs[0] / probs[9] == pytest.approx(10.0, rel=1e-9)
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_empirical_frequencies_match_theory(self):
+        selector = ZipfSelector(20, exponent=1.2, seed=13)
+        draws = selector.sample_many(50_000)
+        counts = [0] * 20
+        for index in draws:
+            counts[index] += 1
+        for rank in (0, 1, 4):
+            empirical = counts[rank] / len(draws)
+            assert empirical == pytest.approx(selector.probabilities[rank], rel=0.1)
+
+    def test_skew_concentrates_mass(self):
+        flat = ZipfSelector(1000, exponent=0.0, seed=3)
+        skewed = ZipfSelector(1000, exponent=1.5, seed=3)
+        flat_top = sum(1 for i in flat.sample_many(5_000) if i < 10)
+        skewed_top = sum(1 for i in skewed.sample_many(5_000) if i < 10)
+        assert skewed_top > 10 * flat_top
+
+    def test_deterministic(self):
+        assert (ZipfSelector(50, 1.1, seed=7).sample_many(100)
+                == ZipfSelector(50, 1.1, seed=7).sample_many(100))
+
+    def test_all_draws_in_range(self):
+        selector = ZipfSelector(5, exponent=2.0, seed=21)
+        assert all(0 <= i < 5 for i in selector.sample_many(1_000))
+
+    def test_worst_case_draw_is_clamped(self):
+        # Float accumulation leaves cdf[-1] a hair under 1.0; the largest
+        # value rng.random() can produce lands above it and must clamp to
+        # the last index instead of running off the end.
+        selector = ZipfSelector(1000, exponent=1.1, seed=2)
+
+        class TopDraw:
+            @staticmethod
+            def random(count=None):
+                import numpy as np
+
+                top = 1.0 - 2.0**-53
+                return np.full(count, top) if count is not None else top
+
+        selector._rng = TopDraw()
+        assert selector.sample() == 999
+        assert selector.sample_many(4) == [999] * 4

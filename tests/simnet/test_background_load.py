@@ -1,0 +1,116 @@
+"""The flashcrowd/soak scenarios: background load woven into a scenario run."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet import ScenarioRunner, build_scenario
+from repro.simnet.scenario import SCENARIOS, ScenarioSpec
+from repro.system import quick_config
+
+
+def tiny_config(**overrides):
+    defaults = dict(num_owners=2, local_epochs=1, num_samples=400)
+    defaults.update(overrides)
+    return quick_config(**defaults)
+
+
+def small_load(**overrides):
+    load = {"clients": 30, "rate": 3.0, "duration_seconds": 150.0,
+            "mix": {"read": 0.5, "transfer": 0.3, "ipfs": 0.2}}
+    load.update(overrides)
+    return load
+
+
+class TestSpec:
+    def test_scenarios_registered(self):
+        assert "flashcrowd" in SCENARIOS
+        assert "soak" in SCENARIOS
+        assert SCENARIOS["flashcrowd"].background_load["arrival"] == "flashcrowd"
+        assert SCENARIOS["soak"].num_tasks == 3
+
+    def test_background_load_breaks_seed_exactness(self):
+        spec = build_scenario("ideal", background_load=small_load())
+        assert not spec.is_seed_exact
+        assert build_scenario("ideal").is_seed_exact
+
+    def test_to_dict_carries_background_load(self):
+        spec = build_scenario("flashcrowd")
+        payload = spec.to_dict()
+        assert payload["background_load"]["arrival"] == "flashcrowd"
+        assert build_scenario("ideal").to_dict()["background_load"] is None
+
+    def test_background_load_must_be_a_dict(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec(name="bad", description="x", background_load=[1, 2])
+
+    def test_typoed_override_key_fails_cleanly(self):
+        spec = build_scenario("ideal", background_load={"rte": 5.0})
+        runner = ScenarioRunner(spec, config=tiny_config())
+        with pytest.raises(SimulationError, match="valid keys"):
+            runner.run()
+
+
+class TestFlashCrowdScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        spec = build_scenario(
+            "flashcrowd",
+            background_load=small_load(arrival="flashcrowd"),
+        )
+        return ScenarioRunner(spec, config=tiny_config()).run()
+
+    def test_tasks_complete_under_load(self, report):
+        assert report.tasks_completed == 2
+        assert report.tasks_failed == 0
+
+    def test_load_stats_reported(self, report):
+        load = report.load_stats
+        assert load is not None
+        assert load["requests_total"] > 0
+        assert load["tx_mined"] == load["tx_submitted"] > 0
+        assert load["ops"]["read"]["attempts"] > 0
+        # Background traffic crossed the same gateway as the tasks'.
+        assert report.rpc_stats["requests_total"] > load["requests_total"]
+
+    def test_load_stats_in_report_dict_and_summary(self, report):
+        assert report.to_dict()["load"]["tx_submitted"] > 0
+        assert "background" in report.summary()
+
+    def test_one_block_per_slot_under_dual_producers(self):
+        # The scenario's block producer and the loadgen's producer coexist;
+        # the loadgen producer must only fill slots nobody else mined, so
+        # the modeled 12s Sepolia cadence holds.
+        spec = build_scenario("flashcrowd",
+                              background_load=small_load(arrival="flashcrowd",
+                                                         duration_seconds=240.0))
+        runner = ScenarioRunner(spec, config=tiny_config())
+        runner.run()
+        chain = runner.node.chain
+        slots = [chain.consensus.slot_at(block.timestamp)
+                 for block in chain.blocks()[1:]]
+        assert len(slots) == len(set(slots))
+
+
+class TestSoakScenario:
+    def test_soak_runs_with_small_overrides(self):
+        spec = build_scenario(
+            "soak",
+            num_tasks=2,
+            task_stagger_seconds=60.0,
+            background_load=small_load(arrival="poisson", duration_seconds=240.0),
+        )
+        report = ScenarioRunner(spec, config=tiny_config()).run()
+        assert report.tasks_completed == 2
+        assert report.load_stats["tx_mined"] > 0
+        assert report.makespan_seconds >= 240.0
+
+    def test_deterministic_across_runs(self):
+        spec = build_scenario(
+            "flashcrowd", num_tasks=1,
+            background_load=small_load(duration_seconds=120.0),
+        )
+        first = ScenarioRunner(spec, config=tiny_config()).run()
+        second = ScenarioRunner(spec, config=tiny_config()).run()
+        assert first.load_stats == second.load_stats
+        assert first.makespan_seconds == second.makespan_seconds
+        assert first.mempool_total_transactions == second.mempool_total_transactions

@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import SchedulerError
-from repro.simnet.events import EventScheduler, SimProcess
+from repro.simnet.events import EventScheduler
 from repro.utils.clock import SimulatedClock
 
 

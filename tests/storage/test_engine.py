@@ -202,7 +202,7 @@ class TestReviewRegressions:
                                              directory=str(tmp_path / "s")))
         store = BlockStore(space=engine.blob_space("ipfs/n"))
         node = IpfsNode("n", Swarm(), blockstore=store)
-        added = node.add_bytes(b"payload" * 1000)
+        node.add_bytes(b"payload" * 1000)
         assert store.total_bytes() > 0
         assert store.total_bytes() == sum(
             len(store.get(cid)) for cid in store.cids())

@@ -244,3 +244,50 @@ class TestRpcMarkdown:
         assert output.startswith("# JSON-RPC method reference")
         assert "| `eth_chainId` |" in output
         assert "| `storage_stats` |" in output
+
+
+class TestLoadgenCommand:
+    def test_loadgen_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "loadgen", "--clients", "500", "--rate", "25", "--duration", "60",
+            "--mode", "open", "--arrival", "flashcrowd", "--zipf", "1.3",
+            "--mix", "transfer=0.6,read=0.4", "--sweep", "10,20",
+        ])
+        assert args.command == "loadgen"
+        assert args.clients == 500
+        assert args.arrival == "flashcrowd"
+        assert args.sweep == "10,20"
+
+    def test_loadgen_single_run_and_save(self, tmp_path, capsys):
+        report_path = tmp_path / "load.json"
+        exit_code = main([
+            "loadgen", "--clients", "25", "--rate", "6", "--duration", "60",
+            "--seed", "3", "--save", str(report_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "transfers:" in output
+        assert "blocks produced" in output
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == "oflw3-load-report/v1"
+        assert payload["tx_mined"] == payload["tx_submitted"] > 0
+
+    def test_loadgen_sweep_reports_knee_and_ingest(self, tmp_path, capsys):
+        report_path = tmp_path / "sweep.json"
+        exit_code = main([
+            "loadgen", "--clients", "40", "--rate", "8", "--duration", "36",
+            "--sweep", "8,90", "--seed", "3", "--save", str(report_path),
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "saturation sweep" in output
+        assert "wall-clock tx ingest" in output
+        assert "seed baseline" in output
+        payload = json.loads(report_path.read_text())
+        assert payload["schema"] == "oflw3-load-sweep/v1"
+        assert payload["ingest"]["tps"] > 0
+
+    def test_loadgen_rejects_bad_mix(self, capsys):
+        assert main(["loadgen", "--mix", "warp=1"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""The CI perf gate (benchmarks/compare.py) against synthetic runs."""
+
+import json
+
+import pytest
+
+from benchmarks.compare import (
+    CALIBRATION,
+    compare,
+    load_medians,
+    main,
+    normalize,
+    write_baseline,
+)
+
+
+def run_json(tmp_path, name, medians):
+    payload = {
+        "benchmarks": [
+            {"name": bench, "stats": {"median": median}}
+            for bench, median in medians.items()
+        ]
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return path
+
+
+GATED = ("test_bench_tx_ingest", "test_bench_rpc_reads")
+
+
+def baseline_from(tmp_path, medians):
+    run = run_json(tmp_path, "baseline_run.json", medians)
+    baseline = tmp_path / "baseline.json"
+    write_baseline(run, baseline, GATED)
+    return baseline
+
+
+class TestNormalization:
+    def test_normalized_by_calibration(self, tmp_path):
+        run = run_json(tmp_path, "run.json", {
+            CALIBRATION: 0.02,
+            "test_bench_tx_ingest": 1.0,
+        })
+        assert normalize(load_medians(run)) == {"test_bench_tx_ingest": 50.0}
+
+    def test_missing_calibration_rejected(self, tmp_path):
+        run = run_json(tmp_path, "run.json", {"test_bench_tx_ingest": 1.0})
+        with pytest.raises(SystemExit):
+            normalize(load_medians(run))
+
+
+class TestGate:
+    BASE = {CALIBRATION: 0.02, "test_bench_tx_ingest": 1.0,
+            "test_bench_rpc_reads": 0.1}
+
+    def test_identical_run_passes(self, tmp_path):
+        baseline = baseline_from(tmp_path, self.BASE)
+        run = run_json(tmp_path, "run.json", self.BASE)
+        assert compare(run, baseline, threshold=0.25) == 0
+
+    def test_machine_speed_cancels_out(self, tmp_path):
+        # A 3x slower machine: every median (calibration included) scales
+        # together, so the normalized comparison still passes.
+        baseline = baseline_from(tmp_path, self.BASE)
+        slower = {name: median * 3 for name, median in self.BASE.items()}
+        run = run_json(tmp_path, "run.json", slower)
+        assert compare(run, baseline, threshold=0.25) == 0
+
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        baseline = baseline_from(tmp_path, self.BASE)
+        regressed = dict(self.BASE)
+        regressed["test_bench_tx_ingest"] *= 1.30  # > 25%
+        run = run_json(tmp_path, "run.json", regressed)
+        assert compare(run, baseline, threshold=0.25) == 1
+
+    def test_regression_within_threshold_passes(self, tmp_path):
+        baseline = baseline_from(tmp_path, self.BASE)
+        wobbly = dict(self.BASE)
+        wobbly["test_bench_tx_ingest"] *= 1.20  # < 25%
+        run = run_json(tmp_path, "run.json", wobbly)
+        assert compare(run, baseline, threshold=0.25) == 0
+
+    def test_ungated_benchmarks_do_not_gate(self, tmp_path):
+        baseline = baseline_from(tmp_path, dict(
+            self.BASE, test_bench_extra=0.5))
+        regressed = dict(self.BASE, test_bench_extra=5.0)
+        run = run_json(tmp_path, "run.json", regressed)
+        assert compare(run, baseline, threshold=0.25) == 0
+
+    def test_missing_gated_benchmark_fails(self, tmp_path):
+        baseline = baseline_from(tmp_path, self.BASE)
+        partial = {name: median for name, median in self.BASE.items()
+                   if name != "test_bench_rpc_reads"}
+        run = run_json(tmp_path, "run.json", partial)
+        assert compare(run, baseline, threshold=0.25) == 1
+
+    def test_main_update_then_compare(self, tmp_path, capsys):
+        from benchmarks.compare import DEFAULT_GATED
+
+        # A fresh --update gates the default set, so the run must carry it.
+        medians = {CALIBRATION: 0.02}
+        medians.update({name: 0.5 for name in DEFAULT_GATED})
+        run = run_json(tmp_path, "run.json", medians)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(run), str(baseline), "--update"]) == 0
+        recorded = json.loads(baseline.read_text())
+        assert recorded["schema"] == "oflw3-perf-baseline/v1"
+        assert main([str(run), str(baseline)]) == 0
+        assert "all" in capsys.readouterr().out
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_is_wellformed(self):
+        from pathlib import Path
+
+        baseline = json.loads(
+            (Path(__file__).resolve().parents[2]
+             / "benchmarks" / "baseline.json").read_text())
+        assert baseline["schema"] == "oflw3-perf-baseline/v1"
+        for name in baseline["gated"]:
+            assert name in baseline["normalized_cost"], name
+        assert CALIBRATION not in baseline["normalized_cost"]
