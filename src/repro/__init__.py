@@ -39,6 +39,13 @@ Python/NumPy:
 ``repro.simnet``
     A discrete-event scenario simulator: concurrent tasks, adversarial
     owner populations, lossy networks, node crash/recovery.
+``repro.loadgen``
+    An open-/closed-loop workload driver: Zipf-skewed, bursty request
+    mixes, latency percentiles and saturation sweeps at the gateway.
+``repro.cluster``
+    Multi-node chain replication: gossip transaction/block dissemination,
+    round-robin leader rotation with failover, longest-chain fork choice
+    with reorgs, and WAL-based replica recovery.
 ``repro.system``
     The OFL-W3 workflow (Steps 1-7 of the paper), roles, timing model and
     the experiment orchestrator.

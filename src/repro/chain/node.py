@@ -116,6 +116,16 @@ class EthereumNode:
         after every retransmission raises :class:`MempoolError`, like an RPC
         endpoint that times out.
         """
+        self._traverse_client_link(tx)
+        return self.chain.submit_transaction(tx)
+
+    def _traverse_client_link(self, tx: Transaction) -> None:
+        """Charge the sender->node RPC link for one submission.
+
+        No-op without a network model.  Shared by the single-node path and
+        the cluster facade, so client-link loss/latency semantics cannot
+        drift between them.
+        """
         if self.network is not None:
             from repro.simnet.netmodel import CHAIN_ENDPOINT
 
@@ -129,7 +139,6 @@ class EthereumNode:
                 raise MempoolError(
                     f"transaction from {tx.sender} lost in transit to the RPC node "
                     f"(network partition or repeated drops)")
-        return self.chain.submit_transaction(tx)
 
     def sign_and_send(
         self,

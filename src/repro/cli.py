@@ -24,6 +24,11 @@ Subcommands
     Inspect, verify (replay to the recovered chain head) or compact a
     persistent store directory written by ``run --store DIR``
     (``repro.storage``: WAL + snapshots + IPFS blobs).
+``cluster``
+    Spin up an N-replica chain replication cluster (``repro.cluster``),
+    drive a few funded transfers through leader rotation and gossip, and
+    print the per-replica status table (heights, heads, reorgs,
+    convergence) -- the quickest way to watch replication work.
 ``gas-report``
     Replay only the on-chain side of the workflow and print the Fig. 5 fee
     table plus the CID-vs-model storage comparison.
@@ -131,6 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--rate-limit", type=float, default=None,
                              help="gateway token-bucket rate (requests per "
                                   "simulated second)")
+    load_parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                             help="drive an N-replica replication cluster "
+                                  "instead of one node (sweeps then measure "
+                                  "replicated ingest)")
     load_parser.add_argument("--seed", type=int, default=7,
                              help="deterministic seed for arrivals and skew")
     load_parser.add_argument("--sweep", default=None, metavar="RATES",
@@ -177,6 +186,29 @@ def build_parser() -> argparse.ArgumentParser:
                                      "recovered head; compact: snapshot at the "
                                      "head and truncate the WAL")
     storage_parser.add_argument("directory", help="store directory (from run --store)")
+
+    cluster_parser = subparsers.add_parser(
+        "cluster", help="run a replication cluster and print its status")
+    cluster_parser.add_argument("action", choices=["status"],
+                                help="status: build a cluster, drive funded "
+                                     "transfers through leader rotation and "
+                                     "gossip, print the per-replica table")
+    cluster_parser.add_argument("--replicas", type=int, default=3,
+                                help="number of chain replicas (default: 3)")
+    cluster_parser.add_argument("--blocks", type=int, default=4,
+                                help="slots to drive before reporting")
+    cluster_parser.add_argument("--txs", type=int, default=12,
+                                help="funded transfers to submit (default: 12)")
+    cluster_parser.add_argument("--profile", default="lan",
+                                help="inter-replica link profile "
+                                     "(ideal/lan/wan/lossy/flaky; default: lan)")
+    cluster_parser.add_argument("--geo", action="store_true",
+                                help="place each replica in its own region "
+                                     "(inter-region gossip pays WAN latency)")
+    cluster_parser.add_argument("--seed", type=int, default=7,
+                                help="seed for link jitter/drops (default: 7)")
+    cluster_parser.add_argument("--json", action="store_true", dest="as_json",
+                                help="print the full status document as JSON")
 
     show_parser = subparsers.add_parser("show", help="summarize a saved report JSON")
     show_parser.add_argument("path", help="path to a report saved with 'run --save'")
@@ -333,6 +365,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             think_time_seconds=args.think,
             zipf_exponent=args.zipf,
             rate_limit=args.rate_limit,
+            cluster=args.cluster,
             seed=args.seed,
             **({"mix": mix} if mix is not None else {}),
         )
@@ -549,6 +582,68 @@ def _command_storage(args: argparse.Namespace) -> int:
         engine.close()
 
 
+def _command_cluster(args: argparse.Namespace) -> int:
+    """Implement the ``cluster`` subcommand (status)."""
+    import json
+
+    from repro.errors import ReproError
+    from repro.chain.faucet import Faucet
+    from repro.chain.keys import KeyPair
+    from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
+    from repro.contracts.registry import default_registry
+    from repro.utils.units import ether_to_wei
+
+    try:
+        config = ClusterConfig(
+            replicas=args.replicas,
+            network_profile=args.profile,
+            regions=tuple(range(args.replicas)) if args.geo else None,
+            seed=args.seed,
+        )
+        cluster = ChainCluster(config, registry=default_registry())
+        node = ClusterNode(cluster)
+        faucet = Faucet(node)
+        senders = [KeyPair.from_label(f"cluster-cli-{index}")
+                   for index in range(min(4, max(1, args.txs)))]
+        for keypair in senders:
+            faucet.drip(keypair.address, ether_to_wei(1))
+        sink = KeyPair.from_label("cluster-cli-sink").address
+        for index in range(max(0, args.txs)):
+            node.sign_and_send(senders[index % len(senders)], to=sink, value=1_000)
+        for _ in range(max(1, args.blocks)):
+            cluster.tick(force=True)
+        cluster.converge()
+        status = cluster.status()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    print(f"cluster: {config.replicas} replicas, links={args.profile}"
+          f"{' (geo regions)' if args.geo else ''}, "
+          f"leader={status['leader']}, "
+          f"{'converged' if status['converged'] else 'DIVERGED'}, "
+          f"finalized height {status['finalized_height']}")
+    header = (f"{'replica':<12}{'alive':<7}{'height':>7}{'produced':>10}"
+              f"{'reorgs':>8}{'mempool':>9}  head")
+    print(header)
+    print("-" * len(header))
+    for row in status["replicas"]:
+        print(f"{row['name']:<12}{str(row['alive']).lower():<7}"
+              f"{row['height']:>7}{row['blocks_produced']:>10}"
+              f"{row['fork']['reorgs']:>8}{row['mempool_depth']:>9}"
+              f"  {row['head_hash'][:18]}...")
+    gossip = status["gossip"]
+    print(f"gossip: {gossip['tx_floods']} tx floods "
+          f"({gossip['tx_delivered']} delivered), "
+          f"{gossip['announces']} announces, "
+          f"{gossip['blocks_fetched']} blocks fetched, "
+          f"{gossip['reorgs_triggered']} gossip-triggered reorg(s)")
+    return 0 if status["converged"] else 3
+
+
 def _command_show(path: str) -> int:
     """Implement the ``show`` subcommand."""
     from repro.system.artifacts import load_report, summarize_report
@@ -562,10 +657,12 @@ def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
     print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
-          "storage, system, simnet, loadgen")
+          "storage, system, simnet, loadgen, cluster")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
-          "repro.rpc.MarketplaceClient, repro.storage.recover_node")
-    print("docs: README.md, docs/architecture.md, docs/rpc.md")
+          "repro.rpc.MarketplaceClient, repro.storage.recover_node, "
+          "repro.cluster.ChainCluster")
+    print("docs: README.md, docs/architecture.md, docs/rpc.md, docs/simnet.md, "
+          "docs/cli.md, docs/performance.md")
     return 0
 
 
@@ -586,6 +683,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_rpc(args)
     if args.command == "storage":
         return _command_storage(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     if args.command == "gas-report":
         return _run_gas_report(args.owners, args.gas_price_gwei)
     if args.command == "model-quality":

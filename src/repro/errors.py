@@ -242,3 +242,13 @@ class StorageError(ReproError):
 
 class StorageCorruptionError(StorageError):
     """Persisted data failed an integrity check (checksum, hash linkage)."""
+
+
+# ---------------------------------------------------------------------------
+# Multi-node replication (repro.cluster)
+# ---------------------------------------------------------------------------
+
+
+class ClusterError(ReproError):
+    """A chain-replication cluster operation failed (bad config, dead
+    replica, impossible reorg)."""

@@ -89,6 +89,12 @@ class LoadGenConfig:
     rate_limit: Optional[float] = None
     """Gateway token-bucket rate (requests per simulated second)."""
 
+    cluster: Optional[int] = None
+    """Drive an N-replica replication cluster (``repro.cluster``) instead of
+    one node: writes route to the rotation leader, reads load-balance across
+    caught-up replicas, and sweeps measure *replicated* ingest.  ``None`` --
+    the default -- keeps the single-node stack."""
+
     max_events: int = 2_000_000
     receipt_timeout_polls: int = 1_000
 
@@ -116,6 +122,9 @@ class LoadGenConfig:
             raise SimulationError(f"num_objects must be positive, got {self.num_objects}")
         if self.payload_bytes <= 0:
             raise SimulationError(f"payload_bytes must be positive, got {self.payload_bytes}")
+        if self.cluster is not None and self.cluster < 2:
+            raise SimulationError(
+                f"cluster needs at least 2 replicas, got {self.cluster}")
 
     def with_overrides(self, **kwargs) -> "LoadGenConfig":
         return replace(self, **kwargs)
@@ -134,6 +143,7 @@ class LoadGenConfig:
             "num_objects": self.num_objects,
             "seed": self.seed,
             "rate_limit": self.rate_limit,
+            "cluster": self.cluster,
         }
 
 
@@ -176,11 +186,26 @@ class LoadGenerator:
                 "ScenarioSpec.rpc_rate_limit instead")
         self.attached = attached
 
+        if attached and config.cluster is not None:
+            raise SimulationError(
+                "cluster is a standalone-stack knob; an attached load "
+                "generator drives the scenario's own node or cluster -- set "
+                "ScenarioSpec.cluster instead")
+        self._cluster = None
         if not attached:
             clock = SimulatedClock()
             scheduler = EventScheduler(clock)
-            node = EthereumNode(config=ChainConfig(), backend=default_registry(),
-                                clock=clock)
+            if config.cluster is not None:
+                from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
+
+                self._cluster = ChainCluster(
+                    ClusterConfig(replicas=config.cluster,
+                                  seed=derive_seed(config.seed, "cluster")),
+                    clock=clock, registry=default_registry())
+                node = ClusterNode(self._cluster)
+            else:
+                node = EthereumNode(config=ChainConfig(),
+                                    backend=default_registry(), clock=clock)
             faucet = Faucet(node)
             swarm = Swarm(clock=clock)
             middleware = []
@@ -450,7 +475,13 @@ class LoadGenerator:
                                    == chain.consensus.slot_at(self.clock.now)):
                 continue
             self._note_mempool_depth()
-            chain.produce_block(advance_clock=False)
+            if self._cluster is not None:
+                # Cluster mode: production goes through leader rotation and
+                # gossip, so every slot's block comes from whichever replica
+                # the schedule elects (the cluster has its own slot guard).
+                self._cluster.produce_now()
+            else:
+                chain.produce_block(advance_clock=False)
 
     # -- execution ----------------------------------------------------------------
 
@@ -520,18 +551,22 @@ class LoadGenerator:
 
 
 def presigned_transfers(num_txs: int, num_senders: int, label: str,
-                        fund_wei: Optional[int] = None):
+                        fund_wei: Optional[int] = None,
+                        node: Optional[EthereumNode] = None):
     """A funded node plus ``num_txs`` signed transfers, ready to submit.
 
     The ONE ingest-workload fixture: :func:`measure_tx_ingest` (the sweep's
     wall-clock number) and the gated ``test_bench_tx_ingest`` /
     ``test_bench_mempool_select`` benchmarks all build their workload here,
     so the "tx-ingest" metric in ``BENCH_PR4.json`` and the CI baseline is
-    one measurement, not two drifting re-implementations.
+    one measurement, not two drifting re-implementations.  Pass ``node`` to
+    fund and target an existing stack (e.g. a cluster facade) instead of a
+    fresh single node.
     """
     if num_txs <= 0 or num_senders <= 0:
         raise SimulationError("num_txs and num_senders must be positive")
-    node = EthereumNode(config=ChainConfig(), backend=default_registry())
+    if node is None:
+        node = EthereumNode(config=ChainConfig(), backend=default_registry())
     faucet = Faucet(node)
     keypairs = [KeyPair.from_label(f"{label}-{index}")
                 for index in range(num_senders)]
@@ -553,29 +588,54 @@ def presigned_transfers(num_txs: int, num_senders: int, label: str,
 
 
 def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
-                      seed: int = 7) -> Dict[str, Any]:
+                      seed: int = 7,
+                      cluster: Optional[int] = None) -> Dict[str, Any]:
     """Wall-clock tx-ingest throughput: submit pre-signed transfers, mine all.
 
     Signing happens before the clock starts (it is client-side work); the
     measured window covers validation, mempool admission, block selection and
     execution -- the server-side ingest path the hot-path optimizations
-    target.
+    target.  With ``cluster=N`` the measured path is *replicated* ingest:
+    every transfer is flooded to N replicas, blocks come from the rotation
+    leaders and every replica re-executes them.
     """
+    cluster_obj = None
+    node = None
+    if cluster is not None:
+        from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
+
+        cluster_obj = ChainCluster(
+            ClusterConfig(replicas=cluster, seed=derive_seed(seed, "ingest")),
+            registry=default_registry())
+        node = ClusterNode(cluster_obj)
     node, transactions = presigned_transfers(num_txs, num_senders,
-                                             f"ingest-{seed}")
+                                             f"ingest-{seed}", node=node)
     started = time.perf_counter()
-    for tx in transactions:
-        node.chain.submit_transaction(tx)
-    node.chain.produce_blocks_until_empty(max_blocks=1 + num_txs // 10)
+    if cluster_obj is not None:
+        for tx in transactions:
+            node.send_transaction(tx)
+        for _ in range(1 + num_txs // 10):
+            if len(node.chain.mempool) == 0:
+                break
+            cluster_obj.tick()
+    else:
+        for tx in transactions:
+            node.chain.submit_transaction(tx)
+        node.chain.produce_blocks_until_empty(max_blocks=1 + num_txs // 10)
     elapsed = time.perf_counter() - started
     if len(node.chain.mempool) != 0:
         raise SimulationError("ingest measurement did not drain the mempool")
-    return {
+    result = {
         "txs": len(transactions),
         "senders": num_senders,
         "seconds": round(elapsed, 4),
         "tps": round(len(transactions) / elapsed, 2),
     }
+    if cluster_obj is not None:
+        cluster_obj.converge()
+        result["cluster"] = cluster
+        result["replicated"] = cluster_obj.heads_identical()
+    return result
 
 
 def run_sweep(
@@ -601,6 +661,7 @@ def run_sweep(
         report = generator.run()
         points.append(SweepPoint.from_report(
             float(rate), float(rate) * transfer_weight, report))
-    ingest = measure_tx_ingest(num_txs=ingest_txs, seed=config.seed)
+    ingest = measure_tx_ingest(num_txs=ingest_txs, seed=config.seed,
+                               cluster=config.cluster)
     return SweepReport(points=points, ingest=ingest,
                        seed_ingest_tps=seed_ingest_tps)

@@ -80,6 +80,7 @@ class StragglerBehavior(OwnerBehavior):
         self.spread = float(spread)
 
     def extra_upload_delay(self, rng: np.random.Generator) -> float:
+        """A uniform draw around the mean delay, added before the upload."""
         low = self.mean_delay_seconds * (1.0 - self.spread)
         high = self.mean_delay_seconds * (1.0 + self.spread)
         return float(rng.uniform(low, high))
@@ -98,6 +99,7 @@ class DropoutBehavior(OwnerBehavior):
 
     @property
     def drop_phase(self) -> Optional[str]:
+        """The workflow phase this owner churns out before."""
         return self._phase
 
 
@@ -121,6 +123,7 @@ class FreeRiderBehavior(OwnerBehavior):
         self.mode = mode
 
     def transform_update(self, update: ModelUpdate, rng: np.random.Generator) -> ModelUpdate:
+        """Replace the trained update with junk per the configured mode."""
         if self.mode == "zero":
             parameters = [
                 {name: np.zeros_like(array) for name, array in layer.items()}
@@ -160,6 +163,7 @@ class LabelFlipPoisonerBehavior(OwnerBehavior):
         self.flip_fraction = float(flip_fraction)
 
     def prepare_dataset(self, dataset: Dataset, rng: np.random.Generator) -> Dataset:
+        """Flip a fraction of the local labels before training starts."""
         labels = dataset.labels.copy()
         num_flipped = int(round(len(labels) * self.flip_fraction))
         if num_flipped == 0:

@@ -71,6 +71,7 @@ class NetworkStats:
     retransmissions: int = 0
 
     def to_dict(self) -> dict:
+        """JSON-friendly counter dump for scenario reports."""
         return {
             "messages": self.messages,
             "dropped": self.dropped,

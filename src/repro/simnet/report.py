@@ -41,6 +41,7 @@ class TaskOutcome:
         return max(0.0, self.finished_at - self.started_at)
 
     def to_dict(self) -> dict:
+        """JSON-friendly form of one task's outcome."""
         return {
             "index": self.index,
             "label": self.label,
@@ -86,15 +87,21 @@ class ScenarioReport:
     #: Deterministic metrics of the scenario's background load run
     #: (``repro.loadgen``), when the spec configured one.
     load_stats: Optional[Dict[str, Any]] = None
+    #: Replication-cluster status (``repro.cluster``) for cluster scenarios:
+    #: per-replica heads and counters, gossip stats, convergence flag and the
+    #: partition/crash chaos events the run recorded.
+    cluster_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
     @property
     def tasks_completed(self) -> int:
+        """Number of tasks that ran the full seven-step workflow."""
         return sum(1 for task in self.tasks if task.status == "completed")
 
     @property
     def tasks_failed(self) -> int:
+        """Number of tasks that aborted (deployment, owner or buyer side)."""
         return sum(1 for task in self.tasks if task.status == "failed")
 
     @property
@@ -113,6 +120,7 @@ class ScenarioReport:
         ]
 
     def to_dict(self) -> dict:
+        """JSON-friendly report (saved byte-stably by ``simulate --save``)."""
         return {
             "schema": "oflw3-scenario-report/v1",
             "scenario": dict(self.scenario),
@@ -141,6 +149,7 @@ class ScenarioReport:
             "node_restarts": self.node_restarts,
             "storage": self.storage_stats,
             "load": self.load_stats,
+            "cluster": self.cluster_stats,
         }
 
     # -- rendering ---------------------------------------------------------------
@@ -193,6 +202,21 @@ class ScenarioReport:
                 f"{self.load_stats.get('tx_mined', 0)}/{self.load_stats.get('tx_submitted', 0)} "
                 f"transfers mined, confirmation p50/p99 "
                 f"{conf.get('p50', 0):.1f}/{conf.get('p99', 0):.1f} s")
+        if self.cluster_stats is not None:
+            replicas = self.cluster_stats.get("replicas", [])
+            heads = {row.get("head_hash") for row in replicas if row.get("alive")}
+            lines.append(
+                f"cluster:    {len(replicas)} replicas, "
+                f"{self.cluster_stats.get('reorgs_total', 0)} reorg(s), "
+                f"{self.cluster_stats.get('side_blocks_seen', 0)} side blocks, "
+                f"{'converged' if self.cluster_stats.get('converged') else f'{len(heads)} distinct heads'}"
+                + (f", {self.cluster_stats.get('partitions_started')} partition(s) "
+                   f"/ {self.cluster_stats.get('heals')} heal(s)"
+                   if self.cluster_stats.get("partitions_started") else ""))
+            for event in self.cluster_stats.get("events", []):
+                lines.append(
+                    f"            t={event.get('at', 0):.0f}s {event.get('kind')}"
+                    + (f" ({event.get('detail')})" if event.get("detail") else ""))
         if self.rpc_stats is not None:
             top = ", ".join(
                 f"{method} x{count}"

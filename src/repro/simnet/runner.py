@@ -116,9 +116,31 @@ class ScenarioRunner:
         # its blob spaces.  The in-memory default stands in for a disk that
         # survives the simulated node crash of a restart scenario.
         self.storage = ensure_engine(storage) or StorageEngine()
-        self.node = EthereumNode(
-            config=ChainConfig(), backend=default_registry(),
-            clock=self.clock, network=self.chain_network, storage=self.storage)
+        # Cluster scenarios replace the single node with an N-replica
+        # replication cluster whose facade routes writes to the rotation
+        # leader and load-balances caught-up reads (``repro.cluster``).
+        self.cluster = None
+        self.cluster_events: List[Dict[str, Any]] = []
+        if self.spec.cluster is not None:
+            from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
+
+            cluster_config = ClusterConfig(
+                replicas=self.spec.cluster,
+                network_profile=self.spec.cluster_profile,
+                regions=self.spec.cluster_regions,
+                seed=derive_seed(self.seed, "cluster"),
+            )
+            self.cluster = ChainCluster(
+                cluster_config, clock=self.clock, registry=default_registry(),
+                storage=self.storage)
+            # The spec's network_profile still governs the *client* links
+            # (wallet -> cluster RPC), exactly as it does for a single node;
+            # the cluster_profile governs the inter-replica gossip links.
+            self.node = ClusterNode(self.cluster, network=self.chain_network)
+        else:
+            self.node = EthereumNode(
+                config=ChainConfig(), backend=default_registry(),
+                clock=self.clock, network=self.chain_network, storage=self.storage)
         self.faucet = Faucet(self.node)
         self.swarm = Swarm(network=self.ipfs_network, clock=self.clock)
         self.node_restarts = 0
@@ -304,6 +326,56 @@ class ScenarioRunner:
         if self._active_tasks > 0:
             self._restart_node()
 
+    def _record_cluster_event(self, kind: str, detail: str = "") -> None:
+        """Append one chaos-timeline entry for the scenario report."""
+        self.cluster_events.append({
+            "at": round(self.clock.now, 3),
+            "kind": kind,
+            "detail": detail,
+            "heads": sorted({(r.height, r.head_hash)
+                             for r in self.cluster.alive_replicas()}),
+        })
+
+    def _cluster_partition_process(self) -> Generator:
+        """Split the cluster's gossip network, then (optionally) heal it.
+
+        At heal time the process records whether the sides actually diverged
+        and runs explicit anti-entropy, so the report can assert the
+        partition_heal contract: divergence during the split, byte-identical
+        heads after the heal.
+        """
+        yield self.spec.partition_at_seconds
+        count = self.cluster.config.replicas
+        half = count // 2
+        groups = [list(range(half)), list(range(half, count))]
+        self.cluster.partition(groups)
+        self._record_cluster_event("partition", f"groups {groups}")
+        if self.spec.heal_at_seconds is None:
+            return
+        yield self.spec.heal_at_seconds - self.spec.partition_at_seconds
+        diverged = not self.cluster.heads_identical()
+        self.cluster.heal()
+        converged = self.cluster.converge()
+        self._record_cluster_event(
+            "heal",
+            f"diverged={diverged} converged={converged}")
+
+    def _cluster_leader_crash_process(self) -> Generator:
+        """Kill the current cluster leader; optionally recover it later."""
+        yield self.spec.leader_crash_at_seconds
+        victim = self.cluster.leader_replica()
+        self.cluster.crash_replica(victim.index)
+        self._record_cluster_event("leader_crash", victim.name)
+        if self.spec.leader_recover_at_seconds is None:
+            return
+        yield self.spec.leader_recover_at_seconds - self.spec.leader_crash_at_seconds
+        self.cluster.recover_replica(victim.index)
+        self.cluster.converge()
+        self._record_cluster_event(
+            "leader_recover",
+            f"{victim.name} (recoveries={victim.recoveries}, "
+            f"resyncs={victim.resyncs})")
+
     def _restart_node(self) -> None:
         """Abruptly drop the chain node and rebuild it from durable storage.
 
@@ -346,6 +418,22 @@ class ScenarioRunner:
                 yield 0.0
             else:
                 yield slot
+
+    def _cluster_block_producer(self) -> Generator:
+        """Tick the cluster on the slot cadence while any task is active.
+
+        Each tick lets every reachable partition side's leader produce --
+        with ``force`` so leaders keep minting (empty) blocks on schedule,
+        the way a real PoA chain does.  Continuous production is what makes
+        partition sides *visibly* diverge and keeps gossip flowing.
+        """
+        slot = self.node.chain.config.slot_seconds
+        while self._active_tasks > 0:
+            gap = slot - (self.clock.now % slot)
+            if gap <= 1e-9:
+                gap = slot
+            yield gap
+            self.cluster.produce_now(force=True)
 
     def _install_background_load(self) -> None:
         """Attach a ``repro.loadgen`` driver to this scenario's shared stack.
@@ -430,15 +518,29 @@ class ScenarioRunner:
                     name=task.outcome.label,
                 )
             if self.spec.async_submissions:
-                self.scheduler.spawn(self._block_producer(), name="block-producer")
+                self.scheduler.spawn(
+                    self._cluster_block_producer() if self.cluster is not None
+                    else self._block_producer(),
+                    name="block-producer")
             if self.spec.node_restart_at_seconds is not None:
                 self.scheduler.spawn(self._chaos_process(), name="chaos-restart")
+            if self.spec.partition_at_seconds is not None:
+                self.scheduler.spawn(self._cluster_partition_process(),
+                                     name="chaos-partition")
+            if self.spec.leader_crash_at_seconds is not None:
+                self.scheduler.spawn(self._cluster_leader_crash_process(),
+                                     name="chaos-leader-crash")
             if self.spec.background_load is not None:
                 self._install_background_load()
             self.scheduler.run(max_events=max_events)
         finally:
             self.clock.unsubscribe(self._sample_mempool)
 
+        if self.cluster is not None:
+            # Let in-flight gossip land and run one explicit anti-entropy
+            # round, so the report's convergence flag reflects the cluster's
+            # steady state rather than a half-delivered announcement.
+            self.cluster.converge()
         return self._build_report()
 
     def _build_report(self) -> ScenarioReport:
@@ -465,6 +567,11 @@ class ScenarioRunner:
         if rpc_stats is not None and self.rate_limiter is not None:
             rpc_stats["rate_limited_total"] = self.rate_limiter.rejected_total
 
+        cluster_stats = None
+        if self.cluster is not None:
+            cluster_stats = self.cluster.status()
+            cluster_stats["events"] = list(self.cluster_events)
+
         return ScenarioReport(
             scenario=self.spec.to_dict(),
             seed=self.seed,
@@ -487,6 +594,7 @@ class ScenarioRunner:
             storage_stats=self.storage.describe(),
             load_stats=(self._loadgen.finalize().sim_dict()
                         if self._loadgen is not None else None),
+            cluster_stats=cluster_stats,
         )
 
     # -- results access ----------------------------------------------------------

@@ -33,13 +33,25 @@ restart    the chain node is killed mid-task and recovered from its
            match an uninterrupted run
 stress     everything at once: concurrent tasks, lossy WAN, poisoners,
            dropouts, stragglers
+partition_heal a 4-replica chain cluster (``repro.cluster``) splits into two
+           sides mid-run; both keep producing (divergent heads), then the
+           partition heals and fork choice converges every replica to the
+           byte-identical longest head
+leader_crash a 3-replica cluster's current leader is killed mid-run;
+           rotation hands the slot to the next replica, and the dead
+           replica later recovers from its own WAL and catches up
+geo        a 3-replica cluster spread across three regions: inter-region
+           gossip pays ~80 ms per hop while the marketplace runs on top
 ========== ==================================================================
+
+The full scenario catalog, the network-model knobs and the recipe for
+adding a scenario live in ``docs/simnet.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -93,6 +105,36 @@ class ScenarioSpec:
     the seed-exact setting -- runs no background load.  The scenario report
     carries the load run's deterministic metrics under ``load_stats``."""
 
+    cluster: Optional[int] = None
+    """Replace the single chain node with an N-replica replication cluster
+    (``repro.cluster``): writes route to the rotation leader, reads
+    load-balance across caught-up replicas, blocks replicate by gossip.
+    ``None`` -- the seed-exact default -- keeps one node."""
+
+    cluster_profile: str = "lan"
+    """Inter-replica link profile for the cluster's gossip network (a
+    ``repro.simnet.profiles`` name).  Ignored without ``cluster``."""
+
+    cluster_regions: Optional[Tuple[int, ...]] = None
+    """Optional region id per replica (geo topology: inter-region gossip
+    pays WAN latency).  Requires ``cluster``."""
+
+    partition_at_seconds: Optional[float] = None
+    """Simulated time at which the cluster's gossip network splits into two
+    halves (replicas ``[0, N//2)`` vs the rest).  Requires ``cluster``."""
+
+    heal_at_seconds: Optional[float] = None
+    """Simulated time at which the partition heals; anti-entropy then drives
+    every replica to the byte-identical longest head."""
+
+    leader_crash_at_seconds: Optional[float] = None
+    """Simulated time at which the current cluster leader is killed
+    (``kill -9``: memory gone, WAL survives).  Requires ``cluster``."""
+
+    leader_recover_at_seconds: Optional[float] = None
+    """Simulated time at which the crashed leader recovers from its WAL and
+    catches back up via gossip."""
+
     def __post_init__(self) -> None:
         if self.num_tasks <= 0:
             raise SimulationError(f"num_tasks must be positive, got {self.num_tasks}")
@@ -118,6 +160,54 @@ class ScenarioSpec:
             raise SimulationError(
                 "background_load must be a dict of LoadGenConfig overrides, "
                 f"got {type(self.background_load).__name__}")
+        if self.cluster is not None and self.cluster < 2:
+            raise SimulationError(
+                f"a cluster scenario needs at least 2 replicas, got {self.cluster}")
+        if self.cluster is not None and self.node_restart_at_seconds is not None:
+            raise SimulationError(
+                "cluster and node_restart_at_seconds are separate chaos "
+                "modes: use leader_crash_at_seconds to kill a replica")
+        cluster_only = {
+            "cluster_regions": self.cluster_regions,
+            "partition_at_seconds": self.partition_at_seconds,
+            "heal_at_seconds": self.heal_at_seconds,
+            "leader_crash_at_seconds": self.leader_crash_at_seconds,
+            "leader_recover_at_seconds": self.leader_recover_at_seconds,
+        }
+        if self.cluster is None:
+            bad = sorted(name for name, value in cluster_only.items()
+                         if value is not None)
+            if bad:
+                raise SimulationError(
+                    f"{', '.join(bad)} require a cluster (set cluster=N)")
+        else:
+            if self.cluster_regions is not None and \
+                    len(self.cluster_regions) != self.cluster:
+                raise SimulationError(
+                    f"cluster_regions must list one region per replica "
+                    f"({self.cluster}), got {len(self.cluster_regions)}")
+            if self.heal_at_seconds is not None and self.partition_at_seconds is None:
+                raise SimulationError(
+                    "heal_at_seconds requires partition_at_seconds")
+            if self.partition_at_seconds is not None and \
+                    self.heal_at_seconds is not None and \
+                    self.heal_at_seconds <= self.partition_at_seconds:
+                raise SimulationError(
+                    "heal_at_seconds must come after partition_at_seconds")
+            if self.leader_recover_at_seconds is not None and \
+                    self.leader_crash_at_seconds is None:
+                raise SimulationError(
+                    "leader_recover_at_seconds requires leader_crash_at_seconds")
+            if self.leader_crash_at_seconds is not None and \
+                    self.leader_recover_at_seconds is not None and \
+                    self.leader_recover_at_seconds <= self.leader_crash_at_seconds:
+                raise SimulationError(
+                    "leader_recover_at_seconds must come after the crash")
+            if self.partition_at_seconds is not None and \
+                    self.cluster_profile == "ideal":
+                raise SimulationError(
+                    "partitions need a real cluster network profile "
+                    "(the ideal wire cannot be split)")
 
     @property
     def is_seed_exact(self) -> bool:
@@ -126,13 +216,15 @@ class ScenarioSpec:
                 and self.network_profile == "ideal" and not self.async_submissions
                 and self.rpc_rate_limit is None
                 and self.node_restart_at_seconds is None
-                and self.background_load is None)
+                and self.background_load is None
+                and self.cluster is None)
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy of this spec with the given fields replaced."""
         return replace(self, **kwargs)
 
     def to_dict(self) -> dict:
+        """JSON-friendly form (embedded verbatim in scenario reports)."""
         return {
             "name": self.name,
             "description": self.description,
@@ -146,6 +238,14 @@ class ScenarioSpec:
             "node_restart_at_seconds": self.node_restart_at_seconds,
             "background_load": (dict(self.background_load)
                                 if self.background_load is not None else None),
+            "cluster": self.cluster,
+            "cluster_profile": self.cluster_profile,
+            "cluster_regions": (list(self.cluster_regions)
+                                if self.cluster_regions is not None else None),
+            "partition_at_seconds": self.partition_at_seconds,
+            "heal_at_seconds": self.heal_at_seconds,
+            "leader_crash_at_seconds": self.leader_crash_at_seconds,
+            "leader_recover_at_seconds": self.leader_recover_at_seconds,
         }
 
 
@@ -231,6 +331,42 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
         behavior_fractions={"poisoner": 0.2, "dropout": 0.1, "straggler": 0.2},
         network_profile="lossy",
         async_submissions=True,
+    ),
+    "partition_heal": ScenarioSpec(
+        name="partition_heal",
+        description="a 4-replica chain cluster splits into two producing "
+                    "sides mid-run, then heals: fork choice must converge "
+                    "every replica to the byte-identical longest head",
+        num_tasks=2,
+        task_stagger_seconds=30.0,
+        async_submissions=True,
+        cluster=4,
+        cluster_profile="lan",
+        partition_at_seconds=60.0,
+        heal_at_seconds=200.0,
+    ),
+    "leader_crash": ScenarioSpec(
+        name="leader_crash",
+        description="the cluster's current leader is killed mid-run "
+                    "(rotation hands off to the next replica) and later "
+                    "recovers from its own WAL, catching up via gossip",
+        num_tasks=1,
+        async_submissions=True,
+        cluster=3,
+        cluster_profile="lan",
+        leader_crash_at_seconds=60.0,
+        leader_recover_at_seconds=150.0,
+    ),
+    "geo": ScenarioSpec(
+        name="geo",
+        description="three chain replicas in three regions: inter-region "
+                    "gossip pays ~80 ms per hop while the marketplace runs",
+        num_tasks=2,
+        task_stagger_seconds=45.0,
+        async_submissions=True,
+        cluster=3,
+        cluster_profile="wan",
+        cluster_regions=(0, 1, 2),
     ),
 }
 

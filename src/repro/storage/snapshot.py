@@ -185,6 +185,36 @@ class SnapshotManager:
             )
         return payload
 
+    def load_at(self, height: int) -> Dict[str, Any]:
+        """Load and validate the snapshot written at exactly ``height``.
+
+        Unlike :meth:`load_latest` this does not consult the latest-pointer
+        meta document, so it keeps working after the pointer has moved on --
+        the cluster fork-choice rollback uses it to restore the state at an
+        arbitrary retained height.
+        """
+        key = snapshot_key(height)
+        payload = canonical_loads(
+            self.backend.get_blob(SNAPSHOT_NAMESPACE, key).decode("utf-8")
+        )
+        if payload.get("schema") != SNAPSHOT_SCHEMA:
+            raise StorageCorruptionError(
+                f"snapshot {key} has unknown schema {payload.get('schema')!r}"
+            )
+        if int(payload.get("height", -1)) != int(height):
+            raise StorageCorruptionError(
+                f"snapshot {key} claims height {payload.get('height')}"
+            )
+        if payload.get("state_checksum") != _state_checksum(payload.get("state", {})):
+            raise StorageCorruptionError(
+                f"snapshot {key} state section fails its checksum"
+            )
+        return payload
+
+    def delete_at(self, height: int) -> bool:
+        """Drop the snapshot at ``height`` (reorgs invalidate branch states)."""
+        return self.backend.delete_blob(SNAPSHOT_NAMESPACE, snapshot_key(height))
+
     def heights(self) -> List[int]:
         """Heights of every retained snapshot, ascending."""
         heights = []

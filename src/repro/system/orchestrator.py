@@ -58,6 +58,9 @@ class MarketplaceEnvironment:
     workflow: OFLW3Workflow
     gateway: Optional[JsonRpcGateway] = None
     storage: Optional[StorageEngine] = None
+    #: The replication cluster behind ``node`` when the environment was built
+    #: with ``cluster=N`` (``repro.cluster``); ``None`` for a single node.
+    cluster: Optional[Any] = None
 
 
 @dataclass
@@ -170,6 +173,7 @@ def build_environment(
     label_prefix: str = "",
     behaviors: Optional[List[Any]] = None,
     storage: Optional[Any] = None,
+    cluster: Optional[int] = None,
 ) -> MarketplaceEnvironment:
     """Construct (but do not run) the full marketplace environment.
 
@@ -192,14 +196,33 @@ def build_environment(
     log-backed config (CLI: ``python -m repro run --store DIR``) to persist
     the chain WAL, periodic snapshots and every IPFS block under a
     directory that survives the process.
+
+    ``cluster=N`` replaces the single chain node with an N-replica
+    replication cluster (``repro.cluster``): the environment's ``node``
+    becomes a :class:`~repro.cluster.ClusterNode` gateway that load-balances
+    caught-up reads across replicas and routes every write to the current
+    rotation leader, and ``env.cluster`` exposes the cluster control plane.
     """
     config = config or OFLW3Config()
+    if cluster is not None and node is not None:
+        raise ValueError("pass either a pre-built node or cluster=N, not both")
     if storage is not None:
         engine = ensure_engine(storage)
     elif node is not None and getattr(node, "storage", None) is not None:
         engine = node.storage  # the caller's node already persists; share it
     else:
         engine = StorageEngine(StorageConfig())
+    chain_cluster = None
+    if cluster is not None:
+        from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
+
+        chain_cluster = ChainCluster(
+            ClusterConfig(replicas=cluster, seed=config.seed),
+            clock=SimulatedClock(),
+            registry=default_registry(),
+            storage=engine,
+        )
+        node = ClusterNode(chain_cluster)
     if node is None:
         clock = SimulatedClock()
         node = EthereumNode(config=ChainConfig(), backend=default_registry(),
@@ -320,6 +343,7 @@ def build_environment(
         workflow=workflow,
         gateway=gateway,
         storage=engine,
+        cluster=chain_cluster,
     )
 
 

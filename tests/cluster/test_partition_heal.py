@@ -1,0 +1,163 @@
+"""The replication acceptance bar, end to end through the scenario runner.
+
+* ``partition_heal``: replicas *diverge* while the gossip network is split
+  and *converge to byte-identical chain heads* (and state digests) after
+  the heal -- with both marketplace tasks still completing;
+* ``leader_crash``: the leader dies mid-run, rotation fails over, and the
+  dead replica recovers from its own WAL and catches up;
+* ``geo``: the marketplace completes over inter-region gossip latency;
+* the single-node ``ideal`` scenario stays bit-for-bit identical to the
+  seed (no cluster code on that path -- enforced again here from the
+  cluster suite's perspective).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simnet import run_scenario
+from repro.simnet.scenario import SCENARIOS, ScenarioSpec, build_scenario
+from repro.system import quick_config, run_marketplace
+
+
+def tiny_config(**overrides):
+    base = dict(num_owners=2, num_samples=400, local_epochs=1)
+    base.update(overrides)
+    return quick_config(**base)
+
+
+@pytest.fixture(scope="module")
+def partition_heal_report():
+    return run_scenario("partition_heal", config=tiny_config())
+
+
+class TestPartitionHealScenario:
+    def test_tasks_complete_despite_the_partition(self, partition_heal_report):
+        assert partition_heal_report.tasks_failed == 0
+        assert partition_heal_report.tasks_completed == 2
+
+    def test_replicas_diverged_during_the_partition(self, partition_heal_report):
+        events = {event["kind"]: event
+                  for event in partition_heal_report.cluster_stats["events"]}
+        assert "partition" in events and "heal" in events
+        assert "diverged=True" in events["heal"]["detail"]
+        # Divergence is real: somebody tracked side blocks and reorged.
+        assert partition_heal_report.cluster_stats["reorgs_total"] >= 1
+        assert partition_heal_report.cluster_stats["side_blocks_seen"] >= 1
+
+    def test_replicas_converge_to_byte_identical_heads(self, partition_heal_report):
+        stats = partition_heal_report.cluster_stats
+        assert stats["converged"] is True
+        heads = {(row["height"], row["head_hash"])
+                 for row in stats["replicas"] if row["alive"]}
+        assert len(heads) == 1, f"distinct heads after heal: {heads}"
+
+    def test_both_sides_produced_during_the_split(self, partition_heal_report):
+        produced = [row["blocks_produced"]
+                    for row in partition_heal_report.cluster_stats["replicas"]]
+        # 4 replicas, two sides of 2: at least one producer per side.
+        assert sum(1 for count in produced if count > 0) >= 2
+
+    def test_report_serializes_with_cluster_section(self, partition_heal_report):
+        payload = partition_heal_report.to_dict()
+        assert payload["cluster"]["converged"] is True
+        assert payload["scenario"]["cluster"] == 4
+        text = partition_heal_report.summary()
+        assert "cluster:" in text and "converged" in text
+
+
+class TestLeaderCrashScenario:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_scenario("leader_crash", config=tiny_config())
+
+    def test_task_survives_the_leader_crash(self, report):
+        assert report.tasks_failed == 0
+        kinds = [event["kind"] for event in report.cluster_stats["events"]]
+        assert kinds == ["leader_crash", "leader_recover"]
+
+    def test_crashed_replica_recovered_and_caught_up(self, report):
+        stats = report.cluster_stats
+        assert stats["converged"] is True
+        recovered = [row for row in stats["replicas"]
+                     if row["recoveries"] or row["resyncs"]]
+        assert recovered, "nobody recovered?"
+        assert all(row["alive"] for row in stats["replicas"])
+
+
+class TestGeoScenario:
+    def test_marketplace_completes_across_regions(self):
+        report = run_scenario("geo", config=tiny_config())
+        assert report.tasks_failed == 0
+        assert report.cluster_stats["converged"] is True
+        # Inter-region links actually charged latency to the gossip mesh.
+        assert report.cluster_stats["network"]["delay_seconds"] > 0
+
+
+class TestSingleNodePathUnchanged:
+    def test_ideal_scenario_stays_bit_for_bit_identical_to_seed(
+            self, quick_marketplace_report):
+        """The other half of the acceptance bar: no cluster tax on the seed."""
+        from repro.simnet import ScenarioRunner
+
+        runner = ScenarioRunner("ideal", config=quick_config(seed=13))
+        runner.run()
+        assert runner.cluster is None
+        task_report = runner.marketplace_reports[0]
+        assert task_report.to_dict() == quick_marketplace_report.to_dict()
+        assert task_report.payments_wei == quick_marketplace_report.payments_wei
+
+    def test_single_node_marketplace_has_no_fork_choice_enabled(self):
+        report = run_marketplace(tiny_config())
+        assert report.aggregate_accuracy is not None
+        # (run_marketplace builds its own env; reach the chain through it)
+        from repro.system.orchestrator import build_environment
+
+        env = build_environment(tiny_config())
+        assert not env.node.chain.fork_choice_enabled
+        assert env.cluster is None
+
+    def test_cluster_scenarios_are_not_seed_exact(self):
+        for name in ("partition_heal", "leader_crash", "geo"):
+            assert not SCENARIOS[name].is_seed_exact
+
+
+class TestClientLinkModel:
+    def test_network_profile_still_governs_client_links_in_cluster_mode(self):
+        """Regression: spec.network_profile must reach the cluster facade
+        (wallet -> cluster RPC pays the client link), not be dropped."""
+        from repro.simnet import ScenarioRunner
+
+        runner = ScenarioRunner(
+            build_scenario("leader_crash").with_overrides(
+                network_profile="lossy"),
+            config=tiny_config())
+        assert runner.node.network is runner.chain_network
+        assert runner.node.network is not None
+
+
+class TestSpecValidation:
+    def test_cluster_chaos_fields_require_cluster(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec(name="x", description="x", partition_at_seconds=10.0)
+
+    def test_heal_requires_partition(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec(name="x", description="x", cluster=3,
+                         heal_at_seconds=10.0)
+
+    def test_heal_must_follow_partition(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec(name="x", description="x", cluster=3,
+                         partition_at_seconds=50.0, heal_at_seconds=40.0)
+
+    def test_cluster_and_restart_chaos_are_mutually_exclusive(self):
+        with pytest.raises(SimulationError):
+            build_scenario("restart", cluster=3)
+
+    def test_partitions_need_a_real_network(self):
+        with pytest.raises(SimulationError):
+            ScenarioSpec(name="x", description="x", cluster=2,
+                         cluster_profile="ideal", partition_at_seconds=10.0,
+                         heal_at_seconds=20.0)

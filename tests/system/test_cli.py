@@ -210,6 +210,44 @@ class TestStorageCommands:
         assert "already holds chain history" in capsys.readouterr().err
 
 
+class TestClusterCommand:
+    def test_cluster_parser_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "cluster", "status", "--replicas", "4", "--blocks", "3",
+            "--profile", "wan", "--geo", "--json",
+        ])
+        assert args.command == "cluster"
+        assert args.action == "status"
+        assert args.replicas == 4
+        assert args.geo is True
+
+    def test_cluster_status_converges_and_prints_table(self, capsys):
+        assert main(["cluster", "status", "--replicas", "3",
+                     "--blocks", "3", "--txs", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "converged" in output
+        assert "replica-0" in output and "replica-2" in output
+        assert "gossip:" in output
+
+    def test_cluster_status_json_document(self, capsys):
+        import json as json_module
+
+        assert main(["cluster", "status", "--replicas", "2", "--blocks", "2",
+                     "--txs", "2", "--json"]) == 0
+        payload = json_module.loads(capsys.readouterr().out)
+        assert payload["converged"] is True
+        assert len(payload["replicas"]) == 2
+
+    def test_loadgen_cluster_flag_runs_replicated(self, capsys):
+        exit_code = main([
+            "loadgen", "--clients", "20", "--rate", "4", "--duration", "36",
+            "--cluster", "2", "--seed", "7",
+        ])
+        assert exit_code == 0
+        assert "blocks produced" in capsys.readouterr().out
+
+
 class TestSaveDeterminism:
     def test_identical_simulate_runs_save_identical_bytes(self, tmp_path, capsys):
         """Saved scenario reports are canonical: sorted keys, stable bytes."""

@@ -1,7 +1,10 @@
 """Documentation link check: relative links in README/docs must resolve.
 
 This is the test the CI docs job runs; a dead relative link (renamed file,
-moved doc) fails the build instead of rotting silently.
+moved doc) fails the build instead of rotting silently.  Fragment targets
+are validated too: ``[...](file.md#anchor)`` and intra-document
+``[...](#anchor)`` links must point at a real GitHub-style heading slug (or
+an explicit ``<a name=...>`` / ``id=...`` anchor) in the target document.
 """
 
 from __future__ import annotations
@@ -19,29 +22,89 @@ DOCUMENTS = sorted(
 )
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
+_EXPLICIT_ANCHOR = re.compile(r"""<a\s+(?:name|id)=["']([^"']+)["']""")
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
 
 
-def _relative_links(path: Path):
+def _github_slug(heading: str) -> str:
+    """The anchor GitHub generates for a heading.
+
+    Lowercase; markdown emphasis/code markers stripped; every character
+    that is not alphanumeric, space or hyphen removed; spaces become
+    hyphens.
+    """
+    text = heading.strip().lower()
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    """Every anchor a fragment link into ``path`` may target."""
+    text = _CODE_FENCE.sub("", path.read_text())
+    anchors = set()
+    counts: dict = {}
+    for match in _HEADING.finditer(text):
+        slug = _github_slug(match.group(2))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        # GitHub de-duplicates repeated headings with -1, -2, ... suffixes.
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    anchors.update(_EXPLICIT_ANCHOR.findall(text))
+    return anchors
+
+
+def _links(path: Path):
+    """Yield ``(file_target, fragment)`` pairs for every relative link."""
     for target in _LINK.findall(path.read_text()):
-        if target.startswith(("http://", "https://", "mailto:", "#")):
+        if target.startswith(("http://", "https://", "mailto:")):
             continue
-        yield target.split("#", 1)[0]
+        file_part, _, fragment = target.partition("#")
+        yield file_part, fragment
 
 
 class TestDocumentationLinks:
     def test_documents_exist(self):
         assert any(d.name == "architecture.md" for d in DOCUMENTS)
         assert any(d.name == "rpc.md" for d in DOCUMENTS)
+        assert any(d.name == "simnet.md" for d in DOCUMENTS)
+        assert any(d.name == "cli.md" for d in DOCUMENTS)
 
     @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
     def test_relative_links_resolve(self, document):
         dead = [
-            target for target in _relative_links(document)
-            if not (document.parent / target).exists()
+            file_part for file_part, _ in _links(document)
+            if file_part and not (document.parent / file_part).exists()
         ]
         assert not dead, f"dead relative links in {document.name}: {dead}"
+
+    @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
+    def test_anchor_fragments_resolve(self, document):
+        """``#fragment`` targets must name a real heading in the target doc."""
+        dead = []
+        for file_part, fragment in _links(document):
+            if not fragment:
+                continue
+            target = (document.parent / file_part) if file_part else document
+            if not target.exists() or target.suffix != ".md":
+                continue  # file existence is test_relative_links_resolve's job
+            if fragment not in _anchors(target):
+                dead.append(f"{file_part or document.name}#{fragment}")
+        assert not dead, f"broken anchors in {document.name}: {dead}"
+
+    def test_anchor_checker_catches_a_broken_fragment(self, tmp_path):
+        """The anchor validation itself must not silently pass (the old bug)."""
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Real Heading\n\nsee [x](#real-heading) "
+                       "and [y](#no-such-heading)\n")
+        anchors = _anchors(doc)
+        assert "real-heading" in anchors
+        assert "no-such-heading" not in anchors
 
     def test_readme_links_to_the_architecture_and_rpc_docs(self):
         text = (REPO_ROOT / "README.md").read_text()
         assert "docs/architecture.md" in text
         assert "docs/rpc.md" in text
+        assert "docs/simnet.md" in text
+        assert "docs/cli.md" in text
