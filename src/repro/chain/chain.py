@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Protocol
 
@@ -158,6 +159,13 @@ class Blockchain:
         #: Fork-choice bookkeeping; ``None`` (the seed default) disables every
         #: replication hook.  See :meth:`enable_fork_choice`.
         self._fork: Optional[_ForkState] = None
+        #: Optional observability hooks (``repro.obs``).  ``None`` -- the seed
+        #: default -- keeps every hot path to a single attribute check, the
+        #: same gating idiom as ``store`` and ``_fork`` above; attached via
+        #: ``Observability.attach_chain``.
+        self.obs: Optional[Any] = None
+        #: Replica label stamped on this chain's spans (``None`` single-node).
+        self.obs_label: Optional[str] = None
 
     # -- chain accessors -----------------------------------------------------
 
@@ -251,10 +259,40 @@ class Blockchain:
 
     def submit_transaction(self, tx: Transaction) -> str:
         """Validate and queue a signed transaction; returns its hash."""
+        if self.obs is not None:
+            return self._submit_transaction_observed(tx)
         self.executor.validate(tx, self.state, check_nonce=False)
         tx_hash = self.mempool.add(tx)
         if self.store is not None:
             self.store.record_transaction(tx)
+        return tx_hash
+
+    def _submit_transaction_observed(self, tx: Transaction) -> str:
+        """Traced/profiled variant of :meth:`submit_transaction`.
+
+        Identical effects (validate, mempool admission, WAL record); it only
+        adds the ``tx.submit`` / ``tx.mempool`` spans and the ``chain.verify``
+        / ``chain.persist`` phase timers.  Kept separate so the seed hot path
+        above stays branch-free beyond the one ``obs`` check.
+        """
+        obs = self.obs
+        span = obs.tx_span("tx.submit", tx.hash_hex, replica=self.obs_label)
+        try:
+            with obs.phase("chain.verify"):
+                self.executor.validate(tx, self.state, check_nonce=False)
+            mempool_span = obs.tx_span("tx.mempool", tx.hash_hex,
+                                       replica=self.obs_label, link=False)
+            try:
+                tx_hash = self.mempool.add(tx)
+            finally:
+                obs.end(mempool_span.annotate("depth", len(self.mempool)))
+            if self.store is not None:
+                with obs.phase("chain.persist"):
+                    self.store.record_transaction(tx)
+        except ReproError:
+            obs.end(span, status="rejected")
+            raise
+        obs.end(span)
         return tx_hash
 
     def mint(self, address: Address | str, amount_wei: int) -> None:
@@ -279,6 +317,33 @@ class Blockchain:
         When ``advance_clock`` is true the simulated clock first advances to
         the next slot boundary, reproducing the ~12 s inclusion latency.
         """
+        if self.obs is not None:
+            return self._produce_block_observed(advance_clock)
+        return self._produce_block_impl(advance_clock)
+
+    def _produce_block_observed(self, advance_clock: bool) -> Block:
+        """Production wrapped in a ``block.produce`` span and wall timers."""
+        obs = self.obs
+        trace_id = f"block-{self.height + 1}"
+        span = obs.tx_span("block.produce", trace_id, replica=self.obs_label)
+        start = time.perf_counter()
+        try:
+            with obs.phase("chain.produce_block"):
+                block = self._produce_block_impl(advance_clock)
+        except ReproError:
+            obs.end(span, status="error")
+            raise
+        span.annotate("height", block.number)
+        span.annotate("txs", len(block.transactions))
+        obs.end(span)
+        obs.registry.histogram(
+            "repro_block_production_seconds",
+            "Wall-clock cost of producing one block.").child.observe(
+                time.perf_counter() - start)
+        return block
+
+    def _produce_block_impl(self, advance_clock: bool) -> Block:
+        """The production body shared by the plain and observed entry points."""
         if advance_clock:
             timestamp = self.consensus.advance_to_next_block(self.clock)
         else:
@@ -318,6 +383,8 @@ class Blockchain:
         makes "a replayed block hashes identically" a structural guarantee
         rather than two hand-synchronized code paths.
         """
+        if self.obs is not None:
+            return self._execute_transactions_observed(transactions, block_ctx)
         included: List[Transaction] = []
         receipts: List[TransactionReceipt] = []
         cumulative_gas = 0
@@ -330,6 +397,37 @@ class Blockchain:
             included.append(tx)
             receipts.append(receipt)
             self.mempool.remove(tx.hash_hex)
+        return included, receipts, cumulative_gas
+
+    def _execute_transactions_observed(self, transactions,
+                                       block_ctx: BlockContext):
+        """Traced variant of the state-transition loop.
+
+        Same effects as :meth:`_execute_transactions` (it is dispatched from
+        there when ``obs`` is attached); adds one ``tx.execute`` span per
+        transaction and the ``chain.execute`` phase timer.  Block replay runs
+        through here too, which is what attributes execution spans to every
+        replica that re-executed a gossiped block.
+        """
+        obs = self.obs
+        included: List[Transaction] = []
+        receipts: List[TransactionReceipt] = []
+        cumulative_gas = 0
+        for tx in transactions:
+            span = obs.tx_span("tx.execute", tx.hash_hex,
+                               replica=self.obs_label, block=block_ctx.number)
+            block_ctx.gas_price = tx.gas_price
+            with obs.phase("chain.execute"):
+                receipt = self.executor.apply(tx, self.state, block_ctx)
+            cumulative_gas += receipt.gas_used
+            receipt.cumulative_gas_used = cumulative_gas
+            receipt.transaction_index = len(included)
+            included.append(tx)
+            receipts.append(receipt)
+            self.mempool.remove(tx.hash_hex)
+            span.annotate("gas_used", receipt.gas_used)
+            obs.end(span,
+                    status="ok" if getattr(receipt, "status", 1) else "reverted")
         return included, receipts, cumulative_gas
 
     # -- persistence and recovery (repro.storage) -----------------------------
@@ -434,11 +532,26 @@ class Blockchain:
                     log_index=index,
                 )
                 self._logs.append(positioned)
+        if self.obs is not None:
+            self._observe_append(block)
         if self.store is not None:
-            self.store.record_block(block)
+            if self.obs is not None:
+                with self.obs.phase("chain.persist"):
+                    self.store.record_block(block)
+            else:
+                self.store.record_block(block)
         if self._fork is not None and \
                 block.number % self._fork.snapshot_interval == 0:
             self._write_fork_snapshot()
+
+    def _observe_append(self, block: Block) -> None:
+        """Record one ``tx.receipt`` span per transaction of a canonical block."""
+        obs = self.obs
+        for tx, receipt in zip(block.transactions, block.receipts):
+            span = obs.tx_span("tx.receipt", tx.hash_hex,
+                               replica=self.obs_label, block=block.number)
+            obs.end(span,
+                    status="ok" if getattr(receipt, "status", 1) else "reverted")
 
     # -- fork choice and reorgs (repro.cluster) --------------------------------
 
@@ -621,6 +734,15 @@ class Blockchain:
 
         fork.reorgs += 1
         fork.max_reorg_depth = max(fork.max_reorg_depth, len(abandoned))
+        if self.obs is not None:
+            self.obs.event(
+                "chain.reorg",
+                abandoned=len(abandoned),
+                adopted=len(path),
+                fork_height=fork_height,
+                new_head=head_hash,
+                replica=self.obs_label,
+            )
         if self.store is not None:
             # The WAL now holds abandoned-branch entries that a linear replay
             # could not recover through; snapshotting at the new head compacts

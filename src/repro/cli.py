@@ -29,6 +29,11 @@ Subcommands
     drive a few funded transfers through leader rotation and gossip, and
     print the per-replica status table (heights, heads, reorgs,
     convergence) -- the quickest way to watch replication work.
+``obs``
+    Run a short observed workload (a loadgen burst or a named scenario) with
+    the unified observability layer (``repro.obs``) enabled and print its
+    Prometheus metrics, a transaction's span tree, the per-phase cost table
+    or the structured event log.
 ``gas-report``
     Replay only the on-chain side of the workflow and print the Fig. 5 fee
     table plus the CID-vs-model storage comparison.
@@ -110,6 +115,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="fraction of owners that upload late")
     sim_parser.add_argument("--freerider-fraction", type=float, default=None,
                             help="fraction of owners that upload junk models")
+    sim_parser.add_argument("--obs", action="store_true",
+                            help="enable the repro.obs observability layer "
+                                 "(spans, events, unified metrics; the saved "
+                                 "report gains an 'obs' section)")
     sim_parser.add_argument("--save", default=None, metavar="PATH",
                             help="save the scenario report to a JSON file")
 
@@ -146,8 +155,38 @@ def build_parser() -> argparse.ArgumentParser:
                              help="comma-separated offered rates (e.g. 10,40,80,160) "
                                   "or 'auto'; runs a saturation sweep and the "
                                   "wall-clock tx-ingest measurement")
+    load_parser.add_argument("--obs", action="store_true",
+                             help="enable the repro.obs observability layer "
+                                  "for a single run (the saved report gains "
+                                  "an 'obs' section)")
     load_parser.add_argument("--save", default=None, metavar="PATH",
                              help="save the load/sweep report to a JSON file")
+
+    obs_parser = subparsers.add_parser(
+        "obs", help="run an observed workload and inspect metrics/traces/events")
+    obs_parser.add_argument("action", choices=["metrics", "trace", "top", "events"],
+                            help="metrics: Prometheus text exposition; "
+                                 "trace: one transaction's span tree; "
+                                 "top: per-phase cost table; "
+                                 "events: structured JSONL event log")
+    obs_parser.add_argument("--scenario", default=None, choices=sorted(SCENARIOS),
+                            help="observe a named simnet scenario instead of "
+                                 "the default short loadgen burst")
+    obs_parser.add_argument("--clients", type=int, default=20,
+                            help="loadgen burst: client population (default: 20)")
+    obs_parser.add_argument("--rate", type=float, default=10.0,
+                            help="loadgen burst: arrivals per simulated second")
+    obs_parser.add_argument("--duration", type=float, default=60.0, metavar="SECONDS",
+                            help="loadgen burst: simulated duration (default: 60)")
+    obs_parser.add_argument("--seed", type=int, default=7,
+                            help="deterministic seed (default: 7)")
+    obs_parser.add_argument("--trace-id", default=None,
+                            help="trace action: trace to render (default: a "
+                                 "sampled transaction)")
+    obs_parser.add_argument("--limit", type=int, default=20,
+                            help="rows for the top/events actions (default: 20)")
+    obs_parser.add_argument("--save-events", default=None, metavar="PATH",
+                            help="also write the structured event log as JSONL")
 
     rpc_parser = subparsers.add_parser(
         "rpc", help="issue ad-hoc JSON-RPC calls against the gateway")
@@ -331,7 +370,7 @@ def _command_simulate(args: argparse.Namespace) -> int:
               f"network={spec.network_profile}, "
               f"submissions={'async' if spec.async_submissions else 'sync'}, "
               f"seed={config.seed}")
-        runner = ScenarioRunner(spec, config=config)
+        runner = ScenarioRunner(spec, config=config, observability=args.obs)
         report = runner.run()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -370,6 +409,10 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             **({"mix": mix} if mix is not None else {}),
         )
         if args.sweep is not None:
+            if args.obs:
+                print("error: --obs applies to a single run, not a sweep",
+                      file=sys.stderr)
+                return 2
             if args.sweep == "auto":
                 rates = [args.rate, args.rate * 2, args.rate * 4, args.rate * 8]
             else:
@@ -382,7 +425,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             print(f"generating load: {config.clients} clients, "
                   f"{config.mode} loop at {config.rate}/s ({config.arrival}), "
                   f"{config.duration_seconds:.0f}s simulated, seed {config.seed}...")
-            report = LoadGenerator(config).run()
+            report = LoadGenerator(config, observability=args.obs).run()
     except (ReproError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -393,6 +436,62 @@ def _command_loadgen(args: argparse.Namespace) -> int:
 
         target = save_json(report.to_dict(), args.save)
         print(f"\nload report saved to {target}")
+    return 0
+
+
+def _command_obs(args: argparse.Namespace) -> int:
+    """Implement the ``obs`` subcommand (metrics / trace / top / events)."""
+    import json
+
+    from repro.errors import ReproError
+
+    try:
+        if args.scenario is not None:
+            from repro.simnet import ScenarioRunner, build_scenario
+            from repro.system import quick_config
+
+            spec = build_scenario(args.scenario)
+            print(f"observing scenario {spec.name!r} (seed {args.seed})...",
+                  file=sys.stderr)
+            runner = ScenarioRunner(spec, config=quick_config(seed=args.seed),
+                                    observability=True)
+            runner.run()
+            obs = runner.obs
+        else:
+            from repro.loadgen import LoadGenConfig, LoadGenerator
+
+            config = LoadGenConfig(clients=args.clients,
+                                   duration_seconds=args.duration,
+                                   rate=args.rate, seed=args.seed)
+            print(f"observing a {config.duration_seconds:.0f}s load burst "
+                  f"({config.clients} clients at {config.rate:g}/s, "
+                  f"seed {config.seed})...", file=sys.stderr)
+            generator = LoadGenerator(config, observability=True)
+            generator.run()
+            obs = generator.obs
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.save_events:
+        target = obs.event_log.write(args.save_events)
+        print(f"event log saved to {target}", file=sys.stderr)
+
+    if args.action == "metrics":
+        print(obs.registry.render_prometheus(), end="")
+        return 0
+    if args.action == "trace":
+        trace_id = args.trace_id or obs.sample_trace_id()
+        if trace_id is None or not obs.tracer.spans_for(trace_id):
+            print("error: no matching trace recorded", file=sys.stderr)
+            return 3
+        print(obs.tracer.render(trace_id))
+        return 0
+    if args.action == "top":
+        print(obs.profiler.render_top(args.limit))
+        return 0
+    for event in obs.event_log.events(limit=args.limit):
+        print(json.dumps(event, sort_keys=True))
     return 0
 
 
@@ -657,12 +756,12 @@ def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
     print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
-          "storage, system, simnet, loadgen, cluster")
+          "storage, system, simnet, loadgen, cluster, obs")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
           "repro.rpc.MarketplaceClient, repro.storage.recover_node, "
           "repro.cluster.ChainCluster")
     print("docs: README.md, docs/architecture.md, docs/rpc.md, docs/simnet.md, "
-          "docs/cli.md, docs/performance.md")
+          "docs/cli.md, docs/performance.md, docs/observability.md")
     return 0
 
 
@@ -679,6 +778,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "loadgen":
         return _command_loadgen(args)
+    if args.command == "obs":
+        return _command_obs(args)
     if args.command == "rpc":
         return _command_rpc(args)
     if args.command == "storage":

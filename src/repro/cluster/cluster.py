@@ -113,6 +113,10 @@ class ChainCluster:
             for index in range(config.replicas)
         ]
         self.gossip = GossipLayer(self.replicas, self.network, self.clock)
+        #: Optional observability hooks (``repro.obs``); ``None`` -- the seed
+        #: default -- emits no structured chaos events.  Attached via
+        #: ``Observability.instrument_cluster``.
+        self.obs: Optional[Any] = None
         self.partitions_started = 0
         self.heals = 0
         #: Cached connected components; topology only changes through
@@ -175,6 +179,10 @@ class ChainCluster:
             [[self.replicas[i].name for i in group] for group in groups])
         self.partitions_started += 1
         self._invalidate_topology()
+        if self.obs is not None:
+            self.obs.event("cluster.partition",
+                           groups=[sorted(int(i) for i in group)
+                                   for group in groups])
 
     def heal(self) -> None:
         """Remove the partition (gossip resumes; convergence follows)."""
@@ -182,6 +190,8 @@ class ChainCluster:
             self.network.heal()
         self.heals += 1
         self._invalidate_topology()
+        if self.obs is not None:
+            self.obs.event("cluster.heal")
 
     # -- leadership ---------------------------------------------------------------
 
@@ -319,6 +329,8 @@ class ChainCluster:
         replica = self.replicas[index]
         replica.crash()
         self._invalidate_topology()
+        if self.obs is not None:
+            self.obs.event("cluster.crash", replica=replica.name)
         return replica
 
     def recover_replica(self, index: int) -> Replica:
@@ -326,6 +338,9 @@ class ChainCluster:
         replica = self.replicas[index]
         replica.recover()
         self._invalidate_topology()
+        if self.obs is not None:
+            self.obs.event("cluster.recover", replica=replica.name,
+                           height=replica.height)
         peers = [other for other in self.alive_replicas()
                  if other is not replica
                  and self.gossip.reachable(replica.index, other.index)]

@@ -80,6 +80,11 @@ class GossipLayer:
         self.network = network
         self.clock = clock
         self.stats = GossipStats()
+        #: Optional observability hooks (``repro.obs``); ``None`` -- the seed
+        #: default -- keeps send/deliver free of any tracing work.  When set,
+        #: flooded tx messages carry a ``"trace"`` context dict so delivery
+        #: spans on receiving replicas parent onto the sender's span.
+        self.obs: Optional[Any] = None
         self._seq = 0
         #: Per-replica inbox: a heap of ``(deliver_at, seq, message)``.
         self._inboxes: List[List[Tuple[float, int, Dict[str, Any]]]] = [
@@ -122,8 +127,17 @@ class GossipLayer:
             if target == origin_index:
                 continue
             self.stats.tx_floods += 1
-            self._deliver_later(origin_index, target,
-                                {"kind": "tx", "tx": payload}, wire_bytes)
+            message: Dict[str, Any] = {"kind": "tx", "tx": payload}
+            if self.obs is not None:
+                # One send span per target; ``link=False`` so its children
+                # live on the *receiving* replica, not the origin's chain.
+                span = self.obs.tx_span(
+                    "gossip.send", tx.hash_hex, link=False,
+                    replica=self.replicas[origin_index].name,
+                    target=self.replicas[target].name)
+                message["trace"] = self.obs.span_context(span)
+                self.obs.end(span)
+            self._deliver_later(origin_index, target, message, wire_bytes)
 
     def announce_block(self, origin_index: int, head_hash: str,
                        height: int) -> None:
@@ -168,14 +182,24 @@ class GossipLayer:
         if message["kind"] == "tx":
             from repro.chain.transaction import Transaction
 
+            span = None
+            ctx = message.get("trace")
+            if self.obs is not None and ctx is not None:
+                span = self.obs.tx_span(
+                    "gossip.deliver", ctx["trace_id"],
+                    parent_id=ctx.get("parent"), replica=replica.name)
             try:
                 replica.chain.submit_transaction(
                     Transaction.from_dict(message["tx"]))
                 self.stats.tx_delivered += 1
+                if span is not None:
+                    self.obs.end(span.annotate("accepted", True))
             except ReproError:
                 # Duplicate, already mined here, or invalid against this
                 # replica's state -- all normal in a gossip mesh.
                 self.stats.tx_rejected += 1
+                if span is not None:
+                    self.obs.end(span.annotate("accepted", False))
             return
         if message["kind"] == "announce":
             origin = self.replicas[message["origin"]]

@@ -63,7 +63,16 @@ class Replica:
         #: Faucet mints performed cluster-wide while this replica was down,
         #: re-applied on :meth:`recover` so balances converge again.
         self.missed_mints: List[Tuple[str, int]] = []
+        #: Optional observability hooks (``repro.obs``); ``None`` -- the seed
+        #: default.  Recover/resync replace the chain object, so every
+        #: replacement point re-attaches via :meth:`_reattach_obs`.
+        self.obs: Optional[Any] = None
         self.chain = self._fresh_chain()
+
+    def _reattach_obs(self) -> None:
+        """Point the observability hooks at the (possibly new) chain object."""
+        if self.obs is not None:
+            self.obs.attach_chain(self.chain, self.name)
 
     def _fresh_chain(self) -> Blockchain:
         """A new empty chain bound to this replica's identity and store."""
@@ -141,6 +150,7 @@ class Replica:
         chain.enable_fork_choice(self.registry,
                                  snapshot_interval=self.fork_snapshot_interval)
         self.chain = chain
+        self._reattach_obs()
         for address, amount in self.missed_mints:
             self.chain.mint(address, amount)
         self.missed_mints.clear()
@@ -182,4 +192,8 @@ class Replica:
         chain.enable_fork_choice(self.registry,
                                  snapshot_interval=self.fork_snapshot_interval)
         self.chain = chain
+        self._reattach_obs()
         self.resyncs += 1
+        if self.obs is not None:
+            self.obs.event("cluster.resync", replica=self.name,
+                           origin=origin.name, height=self.chain.height)

@@ -252,3 +252,13 @@ class StorageCorruptionError(StorageError):
 class ClusterError(ReproError):
     """A chain-replication cluster operation failed (bad config, dead
     replica, impossible reorg)."""
+
+
+# ---------------------------------------------------------------------------
+# Observability (repro.obs)
+# ---------------------------------------------------------------------------
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the observability layer (metric name clash, bad label set,
+    malformed metric name)."""

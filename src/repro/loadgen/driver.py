@@ -38,6 +38,7 @@ from repro.loadgen.arrivals import ArrivalProcess, ZipfSelector, make_arrivals
 from repro.loadgen.report import LoadReport, SweepPoint, SweepReport
 from repro.loadgen.stats import LatencyStats, OpStats
 from repro.loadgen.workload import DEFAULT_MIX, ClientPool, RequestMix
+from repro.obs import ensure_observability
 from repro.rpc.client import MarketplaceClient
 from repro.rpc.gateway import JsonRpcGateway
 from repro.rpc.middleware import TokenBucketRateLimiter
@@ -171,6 +172,7 @@ class LoadGenerator:
         manage_blocks: bool = True,
         label_prefix: str = "loadgen",
         oflw3_backend_key: Optional[str] = None,
+        observability: Any = False,
     ) -> None:
         self.config = config
         self.label_prefix = label_prefix
@@ -228,6 +230,21 @@ class LoadGenerator:
         self.swarm = swarm
         self.manage_blocks = manage_blocks
         self.oflw3_backend_key = oflw3_backend_key
+
+        #: Optional ``repro.obs`` facade; ``False``/``None`` (the default)
+        #: keeps the run observation-free.  Standalone runs build and wire
+        #: their own facade; attached runs receive the scenario's facade --
+        #: already wired to the shared stack -- and only add this
+        #: generator's saturation sampler.
+        self.obs = ensure_observability(observability, clock=self.clock)
+        if self.obs is not None:
+            if not self.attached:
+                if self._cluster is not None:
+                    self.obs.instrument_cluster(self._cluster)
+                else:
+                    self.obs.instrument_node(self.node)
+                self.rpc.gateway.attach_obs(self.obs)
+            self.obs.instrument_loadgen(self._obs_sample)
 
         seed = config.seed
         self.mix = RequestMix(config.mix, seed=derive_seed(seed, "mix"))
@@ -371,6 +388,17 @@ class LoadGenerator:
             stats.record_error(error, time.perf_counter() - started)
             return
         stats.record_success(time.perf_counter() - started)
+
+    def _obs_sample(self) -> Dict[str, Any]:
+        """Saturation counters sampled into the unified metrics registry."""
+        transfer = self.ops.get("transfer")
+        return {
+            "offered": self.offered,
+            "submitted": transfer.successes if transfer else 0,
+            "mined": self.tx_mined,
+            "timeouts": self.receipt_timeouts,
+            "outstanding": len(self._outstanding),
+        }
 
     def _note_mempool_depth(self) -> None:
         depth = len(self.node.chain.mempool)
@@ -533,6 +561,7 @@ class LoadGenerator:
             blocks_produced=node.block_number - self._start_height,
             mempool_max_depth=self._mempool_peak,
             rpc_stats=metrics.snapshot(include_latency=False) if metrics else None,
+            obs_stats=self.obs.stats_dict() if self.obs is not None else None,
         )
         return report
 

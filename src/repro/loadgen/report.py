@@ -40,6 +40,10 @@ class LoadReport:
     mempool_max_depth: int = 0
     rpc_stats: Optional[Dict[str, Any]] = None
     arrival: Dict[str, Any] = field(default_factory=dict)
+    #: ``repro.obs`` facade snapshot when the run had observability enabled;
+    #: ``None`` (the default) keeps saved reports byte-identical to pre-obs
+    #: runs -- same conditional-key contract as ``rpc_stats``.
+    obs_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -126,6 +130,8 @@ class LoadReport:
         }
         if self.rpc_stats is not None:
             payload["rpc_stats"] = dict(self.rpc_stats)
+        if self.obs_stats is not None:
+            payload["obs"] = self.obs_stats
         return payload
 
     def summary(self) -> str:
@@ -155,6 +161,11 @@ class LoadReport:
                 f"{conf.get('p99', 0):.1f} s, "
                 f"mempool peak {self.mempool_max_depth}"
             )
+        if self.obs_stats is not None:
+            lines.append(
+                f"obs: {self.obs_stats.get('spans_total', 0)} spans over "
+                f"{self.obs_stats.get('traces_total', 0)} traces, "
+                f"{self.obs_stats.get('events_total', 0)} structured events")
         lines.append(f"blocks produced: {self.blocks_produced}")
         return "\n".join(lines)
 

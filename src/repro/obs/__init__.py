@@ -1,0 +1,31 @@
+"""Unified observability: metrics, tracing, structured events, profiling.
+
+See :mod:`repro.obs.facade` for the attachable :class:`Observability`
+object and ``docs/observability.md`` for the metric catalog and trace
+anatomy.  Everything here is off by default: no component builds an
+``Observability`` unless asked, and instrumented hot paths gate every hook
+on a ``None`` check.
+"""
+
+from repro.obs.events import ObsEventLog
+from repro.obs.facade import Observability, ensure_observability
+from repro.obs.profiling import PhaseProfiler
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    METRIC_NAME_RE,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "DEFAULT_SECONDS_BUCKETS",
+    "METRIC_NAME_RE",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObsEventLog",
+    "Observability",
+    "PhaseProfiler",
+    "Span",
+    "Tracer",
+    "ensure_observability",
+]

@@ -1,0 +1,202 @@
+"""The :class:`Observability` facade every subsystem hooks into.
+
+One instance bundles the four pillars -- :class:`MetricsRegistry`,
+:class:`Tracer`, :class:`ObsEventLog` and :class:`PhaseProfiler` -- and
+knows how to wire itself onto the stack's components (chain, cluster,
+gossip, RPC gateway, storage engine, load generator).
+
+**Off by default, overhead-gated.**  Nothing in the repo constructs an
+``Observability`` unless a user passes ``--obs`` / ``observability=True``;
+every instrumented call site follows the repo's fork-choice idiom of a
+``None``-default attribute guarded by ``if self.obs is not None``, so the
+disabled path costs one attribute check and the seed's behavior -- down to
+the bytes of a saved ideal-scenario report -- is unchanged.
+
+Chains are attached through :meth:`attach_chain` rather than a one-shot
+registration because replica crash/recover and resync *replace* the chain
+object; the facade tracks the current instance per label so metric
+collectors keep sampling the live one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.obs import adapters
+from repro.obs.events import ObsEventLog
+from repro.obs.profiling import PhaseProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.utils.clock import SimulatedClock
+
+
+class Observability:
+    """Metrics + tracing + events + profiling behind one attachable object."""
+
+    def __init__(self, clock: Optional[SimulatedClock] = None, *,
+                 max_spans: int = 50_000, max_events: int = 100_000) -> None:
+        self.clock = clock
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(clock=clock, max_spans=max_spans)
+        self.event_log = ObsEventLog(clock=clock, max_events=max_events)
+        self.profiler = PhaseProfiler()
+        self._chains: Dict[str, Any] = {}
+        self._caches: Dict[str, Any] = {}
+        self._chain_collector_registered = False
+        self._cache_collector_registered = False
+
+    # -- hot-path helpers (what instrumented call sites use) ----------------
+
+    def tx_span(self, name: str, trace_id: str, *,
+                replica: Optional[str] = None,
+                parent_id: Optional[str] = None,
+                link: bool = True, **attrs: Any) -> Any:
+        """Open a span on a transaction's trace (see ``Tracer.start_span``)."""
+        return self.tracer.start_span(
+            name, trace_id, parent_id=parent_id, replica=replica,
+            link=link, attrs=attrs or None)
+
+    def end(self, span: Any, status: str = "ok") -> Any:
+        """Close a span against the simulated clock."""
+        return span.end(self.clock, status=status)
+
+    def span_context(self, span: Any) -> Optional[Dict[str, str]]:
+        """The trace-context dict to carry inside a gossip message."""
+        return self.tracer.context(span)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one structured event (reorg, partition, crash...)."""
+        self.event_log.emit(kind, **fields)
+
+    def phase(self, name: str):
+        """``with obs.phase("verify"):`` -- time one profiled phase."""
+        return self.profiler.phase(name)
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach_chain(self, chain: Any, label: Optional[str] = None) -> None:
+        """Hook one :class:`Blockchain` (re-attachable after recover/resync)."""
+        chain.obs = self
+        chain.obs_label = label
+        self._chains[label or "node"] = chain
+        if not self._chain_collector_registered:
+            self._chain_collector_registered = True
+
+            def collect(reg: MetricsRegistry) -> None:
+                for name in sorted(self._chains):
+                    adapters.collect_chain(reg, self._chains[name], name)
+
+            self.registry.register_collector(collect)
+
+    def register_cache(self, name: str, cache: Any) -> None:
+        """Register an ``LRUCache``-shaped stat source under one label."""
+        self._caches[name] = cache
+        if not self._cache_collector_registered:
+            self._cache_collector_registered = True
+
+            def collect(reg: MetricsRegistry) -> None:
+                for cache_name in sorted(self._caches):
+                    adapters.collect_cache(reg, cache_name,
+                                           self._caches[cache_name])
+
+            self.registry.register_collector(collect)
+
+    def instrument_node(self, node: Any, label: Optional[str] = None) -> None:
+        """Hook a single-node :class:`EthereumNode` (chain + address cache)."""
+        from repro.chain.account import checksum_cache
+
+        self.attach_chain(node.chain, label)
+        self.register_cache("address_checksum", checksum_cache())
+
+    def instrument_cluster(self, cluster: Any) -> None:
+        """Hook every replica, the gossip layer and cluster chaos events."""
+        from repro.chain.account import checksum_cache
+
+        cluster.obs = self
+        cluster.gossip.obs = self
+        adapters.register_gossip(self.registry, cluster.gossip)
+        self.register_cache("address_checksum", checksum_cache())
+        for replica in cluster.replicas:
+            replica.obs = self
+            self.attach_chain(replica.chain, replica.name)
+
+    def instrument_gateway(self, gateway: Any) -> None:
+        """Adapt the gateway's ``RequestMetrics`` into the registry."""
+        if gateway.metrics is not None:
+            adapters.register_rpc_metrics(self.registry, gateway.metrics)
+
+    def instrument_storage(self, engine: Any) -> None:
+        """Hook a storage engine's cache and WAL counters."""
+        self.register_cache("storage", engine.cache)
+        adapters.register_storage(self.registry, engine)
+
+    def instrument_loadgen(self, sample: Callable[[], dict]) -> None:
+        """Hook a load generator's saturation sampler."""
+        adapters.register_loadgen(self.registry, sample)
+
+    # -- reporting ----------------------------------------------------------
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Unified stats for every registered cache (the one spelling)."""
+        return {
+            name: (cache.stats() if hasattr(cache, "stats")
+                   else cache.snapshot())
+            for name, cache in sorted(self._caches.items())
+        }
+
+    def sample_trace_id(self) -> Optional[str]:
+        """A representative trace id: the first transaction trace recorded."""
+        for trace_id in self.tracer.trace_ids():
+            if trace_id.startswith("0x"):
+                return trace_id
+        ids = self.tracer.trace_ids()
+        return ids[0] if ids else None
+
+    def sample_trace(self, include_wall: bool = False) -> List[Dict[str, Any]]:
+        """The sampled trace as a span tree (empty when nothing traced)."""
+        trace_id = self.sample_trace_id()
+        if trace_id is None:
+            return []
+        return self.tracer.tree(trace_id, include_wall=include_wall)
+
+    def stats_dict(self) -> Dict[str, Any]:
+        """Deterministic summary embedded in scenario / load reports.
+
+        Span, event and phase *counts* are deterministic under the
+        simulated clock; wall-clock durations are excluded here and the
+        full (non-deterministic) registry snapshot lives under its own
+        ``"metrics"`` key so report diffs localize cleanly.
+        """
+        return {
+            "events_by_kind": self.event_log.counts_by_kind(),
+            "events_dropped": self.event_log.dropped,
+            "events_total": len(self.event_log),
+            "metrics": self.registry.snapshot(),
+            "phase_calls": self.profiler.counts(),
+            "sample_trace_id": self.sample_trace_id(),
+            "spans_by_name": self.tracer.span_counts(),
+            "spans_dropped": self.tracer.dropped,
+            "spans_total": len(self.tracer.spans),
+            "traces_total": len(self.tracer.trace_ids()),
+        }
+
+
+def ensure_observability(value: Any,
+                         clock: Optional[SimulatedClock] = None
+                         ) -> Optional[Observability]:
+    """Normalize an ``observability`` argument.
+
+    ``None``/``False`` -> ``None`` (disabled); ``True`` -> a fresh
+    :class:`Observability` on ``clock``; an existing instance passes
+    through (its clock is rebound to ``clock`` when one is given, so a
+    caller-built facade still tracks the runner's simulated time).
+    """
+    if not value:
+        return None
+    if isinstance(value, Observability):
+        if clock is not None and value.clock is None:
+            value.clock = clock
+            value.tracer.clock = clock
+            value.event_log.clock = clock
+        return value
+    return Observability(clock=clock)

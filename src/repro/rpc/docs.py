@@ -42,6 +42,9 @@ _NAMESPACE_BLURBS = {
              "aggregate, pay).",
     "storage": "The durable storage engine (`repro.storage`): WAL, snapshot "
                "and LRU-cache statistics.",
+    "obs": "The unified observability layer (`repro.obs`): Prometheus "
+           "metrics, span traces, per-phase cost tables and structured "
+           "events (mounted only when a run enables observability).",
 }
 
 
@@ -58,6 +61,7 @@ def build_reference_gateway() -> Any:
     from repro.data.synthetic_mnist import SyntheticMnistConfig, generate_synthetic_mnist
     from repro.ipfs.node import IpfsNode
     from repro.ipfs.swarm import Swarm
+    from repro.obs import Observability
     from repro.rpc.gateway import JsonRpcGateway
     from repro.storage.engine import StorageEngine
     from repro.web.backend import BuyerBackend
@@ -72,6 +76,7 @@ def build_reference_gateway() -> Any:
     dataset = generate_synthetic_mnist(SyntheticMnistConfig(num_samples=40, seed=1))
     gateway.serve_backend(BuyerBackend(wallet=wallet, ipfs=ipfs, test_dataset=dataset))
     gateway.attach_storage(engine)
+    gateway.attach_obs(Observability(clock=node.chain.clock))
     return gateway
 
 

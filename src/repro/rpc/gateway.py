@@ -22,7 +22,12 @@ from repro.chain.node import EthereumNode
 from repro.ipfs.node import IpfsNode
 from repro.ipfs.swarm import Swarm
 from repro.rpc.middleware import RequestMetrics
-from repro.rpc.namespaces import EthNamespace, IpfsNamespace, Oflw3Namespace
+from repro.rpc.namespaces import (
+    EthNamespace,
+    IpfsNamespace,
+    ObsNamespace,
+    Oflw3Namespace,
+)
 from repro.rpc.protocol import (
     INTERNAL_ERROR,
     INVALID_PARAMS,
@@ -50,8 +55,8 @@ def _describe_storage(engine: Any) -> Callable[[], Dict[str, Any]]:
 
 def _cache_stats(engine: Any) -> Callable[[], Dict[str, Any]]:
     def storage_cache_stats() -> Dict[str, Any]:
-        """Hit/miss/eviction counters of the storage engine's LRU read cache."""
-        return engine.cache.snapshot()
+        """Hit/miss/eviction counters of the storage cache (deprecated alias of obs_cacheStats)."""
+        return engine.cache.stats()
 
     return storage_cache_stats
 
@@ -80,6 +85,9 @@ class JsonRpcGateway:
         self.ipfs = IpfsNamespace(swarm=swarm)
         self.oflw3 = Oflw3Namespace()
         self.storage: Optional[Any] = None
+        #: Optional observability facade (``repro.obs``); mounted lazily via
+        #: :meth:`attach_obs`, ``None`` by default.
+        self.obs: Optional[Any] = None
         if node is not None:
             self.serve_node(node)
         if swarm is not None:
@@ -131,8 +139,26 @@ class JsonRpcGateway:
         self.storage = engine
         if self.metrics is not None:
             self.metrics.attach_gauge("storage_cache", engine.cache.snapshot)
+        if self.obs is not None:
+            self.obs.instrument_storage(engine)
         self.register("storage_stats", _describe_storage(engine))
         self.register("storage_cacheStats", _cache_stats(engine))
+        return self
+
+    def attach_obs(self, obs: Any) -> "JsonRpcGateway":
+        """Mount a ``repro.obs`` facade: ``obs_*`` methods + metric adapters.
+
+        Adapts the gateway's :class:`RequestMetrics` into the unified
+        registry and, when a storage engine is (or later gets) attached,
+        registers its cache under the unified ``repro_cache_*`` series.
+        ``storage_cacheStats`` keeps working as a deprecated alias of
+        ``obs_cacheStats``'s ``storage`` entry.
+        """
+        self.obs = obs
+        obs.instrument_gateway(self)
+        if self.storage is not None:
+            obs.instrument_storage(self.storage)
+        self.register_namespace(ObsNamespace(obs).methods())
         return self
 
     def methods(self) -> List[str]:

@@ -22,6 +22,12 @@ from repro.rpc.protocol import (
 CallNext = Callable[[RpcRequest], Any]
 
 #: Latency histogram bucket upper bounds in milliseconds (last bucket: +inf).
+#: Bounds are ``le``-**inclusive**, matching the Prometheus convention: an
+#: observation exactly on a bound lands in that bound's bucket (0.5 ms counts
+#: toward the 0.5 bucket, not the 1.0 one).  Pinned by
+#: ``tests/rpc/test_histogram_buckets.py``; ``repro.obs`` re-exposes these
+#: buckets in seconds with the counts carried over verbatim, which is only
+#: correct because both sides share this inclusive semantics.
 LATENCY_BUCKETS_MS = (0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0)
 
 
@@ -63,7 +69,7 @@ class RequestMetrics:
             self._observe((time.perf_counter() - started) * 1000.0)
 
     def _observe(self, elapsed_ms: float) -> None:
-        """Record one request duration in the histogram."""
+        """Record one request duration in its ``le``-inclusive bucket."""
         self.latency_total_ms += elapsed_ms
         for index, bound in enumerate(LATENCY_BUCKETS_MS):
             if elapsed_ms <= bound:

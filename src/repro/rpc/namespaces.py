@@ -429,3 +429,76 @@ class Oflw3Namespace:
             "oflw3_payOwners": self.pay_owners,
             "oflw3_report": self.report,
         }
+
+
+class ObsNamespace:
+    """``obs_*`` methods over one :class:`repro.obs.Observability` instance.
+
+    Mounted by :meth:`JsonRpcGateway.attach_obs`; every handler reads the
+    observability facade that instruments the serving node/cluster, so
+    ``obs_metrics`` is this stack's ``/metrics`` endpoint and ``obs_trace``
+    answers "where did this transaction's time go".
+    """
+
+    def __init__(self, obs: Any) -> None:
+        self.obs = obs
+
+    def metrics(self) -> str:
+        """The unified metrics registry in Prometheus text exposition format."""
+        return self.obs.registry.render_prometheus()
+
+    def metrics_json(self) -> Dict[str, Any]:
+        """Deterministic JSON snapshot of every registered metric family."""
+        return self.obs.registry.snapshot()
+
+    def traces(self, limit: int = 20) -> List[Dict[str, Any]]:
+        """Recorded trace ids (oldest first) with their span counts."""
+        if limit <= 0:
+            raise JsonRpcError(INVALID_PARAMS,
+                               f"limit must be positive, got {limit}")
+        ids = self.obs.tracer.trace_ids()[:limit]
+        return [
+            {"spans": len(self.obs.tracer.spans_for(trace_id)),
+             "trace_id": trace_id}
+            for trace_id in ids
+        ]
+
+    def trace(self, trace_id: Optional[str] = None,
+              include_wall: bool = False) -> List[Dict[str, Any]]:
+        """The span tree of one trace (default: the sampled transaction trace)."""
+        if trace_id is None:
+            trace_id = self.obs.sample_trace_id()
+        if trace_id is None:
+            return []
+        return self.obs.tracer.tree(trace_id, include_wall=include_wall)
+
+    def top(self, count: int = 10) -> List[Dict[str, Any]]:
+        """The top-``count`` per-phase cost table from the profiling hooks."""
+        if count <= 0:
+            raise JsonRpcError(INVALID_PARAMS,
+                               f"count must be positive, got {count}")
+        return self.obs.profiler.top(count)
+
+    def events(self, kind: Optional[str] = None,
+               limit: int = 100) -> List[Dict[str, Any]]:
+        """Structured events (reorgs, partitions, crashes), newest last."""
+        if limit <= 0:
+            raise JsonRpcError(INVALID_PARAMS,
+                               f"limit must be positive, got {limit}")
+        return self.obs.event_log.events(kind=kind, limit=limit)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Unified statistics for every registered cache (the one spelling)."""
+        return self.obs.cache_stats()
+
+    def methods(self) -> MethodTable:
+        """The method table this namespace contributes."""
+        return {
+            "obs_metrics": self.metrics,
+            "obs_metricsJson": self.metrics_json,
+            "obs_traces": self.traces,
+            "obs_trace": self.trace,
+            "obs_top": self.top,
+            "obs_events": self.events,
+            "obs_cacheStats": self.cache_stats,
+        }

@@ -91,6 +91,10 @@ class ScenarioReport:
     #: per-replica heads and counters, gossip stats, convergence flag and the
     #: partition/crash chaos events the run recorded.
     cluster_stats: Optional[Dict[str, Any]] = None
+    #: ``repro.obs`` facade snapshot (metric registry, span/event counts)
+    #: when the run had observability enabled; ``None`` -- the default --
+    #: keeps saved reports byte-identical to pre-obs runs.
+    obs_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -121,7 +125,7 @@ class ScenarioReport:
 
     def to_dict(self) -> dict:
         """JSON-friendly report (saved byte-stably by ``simulate --save``)."""
-        return {
+        payload: dict = {
             "schema": "oflw3-scenario-report/v1",
             "scenario": dict(self.scenario),
             "seed": self.seed,
@@ -151,6 +155,12 @@ class ScenarioReport:
             "load": self.load_stats,
             "cluster": self.cluster_stats,
         }
+        # Conditional on purpose: every pre-obs key above is always present,
+        # so reports saved with observability off stay byte-for-byte
+        # identical to reports from before the key existed.
+        if self.obs_stats is not None:
+            payload["obs"] = self.obs_stats
+        return payload
 
     # -- rendering ---------------------------------------------------------------
 
@@ -217,6 +227,11 @@ class ScenarioReport:
                 lines.append(
                     f"            t={event.get('at', 0):.0f}s {event.get('kind')}"
                     + (f" ({event.get('detail')})" if event.get("detail") else ""))
+        if self.obs_stats is not None:
+            lines.append(
+                f"obs:        {self.obs_stats.get('spans_total', 0)} spans over "
+                f"{self.obs_stats.get('traces_total', 0)} traces, "
+                f"{self.obs_stats.get('events_total', 0)} structured events")
         if self.rpc_stats is not None:
             top = ", ".join(
                 f"{method} x{count}"

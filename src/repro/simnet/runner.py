@@ -43,6 +43,7 @@ from repro.chain.transaction import Transaction, encode_call
 from repro.contracts.registry import default_registry
 from repro.errors import ReproError, SimulationError
 from repro.ipfs.swarm import Swarm
+from repro.obs import ensure_observability
 from repro.rpc.client import MarketplaceClient
 from repro.rpc.gateway import JsonRpcGateway
 from repro.rpc.middleware import TokenBucketRateLimiter
@@ -96,6 +97,7 @@ class ScenarioRunner:
         config: Optional[OFLW3Config] = None,
         seed: Optional[int] = None,
         storage: Optional[Any] = None,
+        observability: Any = False,
     ) -> None:
         self.spec = build_scenario(scenario) if isinstance(scenario, str) else scenario
         base = config or quick_config()
@@ -161,6 +163,18 @@ class ScenarioRunner:
             node=self.node, swarm=self.swarm, middleware=middleware)
         self.gateway.attach_storage(self.storage)
         self.rpc = MarketplaceClient(self.gateway)
+
+        # Observability is strictly opt-in (``observability=True`` or an
+        # existing facade): when off -- the default -- nothing below is
+        # constructed and every subsystem keeps its ``obs = None`` fast
+        # path, so reports stay byte-identical to the uninstrumented seed.
+        self.obs = ensure_observability(observability, clock=self.clock)
+        if self.obs is not None:
+            if self.cluster is not None:
+                self.obs.instrument_cluster(self.cluster)
+            else:
+                self.obs.instrument_node(self.node)
+            self.gateway.attach_obs(self.obs)
 
         self.tasks: List[_TaskRuntime] = []
         self._active_tasks = 0
@@ -408,6 +422,10 @@ class ScenarioRunner:
             task.env.node = recovered
             task.env.faucet = self.faucet
         self.node_restarts += 1
+        if self.obs is not None:
+            # The chain object changed; re-point the hooks at the live one.
+            self.obs.instrument_node(recovered)
+            self.obs.event("node.restart", height=recovered.chain.height)
 
     def _block_producer(self) -> Generator:
         """Mine on the slot cadence while any task is still active."""
@@ -469,6 +487,7 @@ class ScenarioRunner:
             faucet=self.faucet,
             swarm=self.swarm,
             label_prefix="bg",
+            observability=self.obs,
         )
         self._loadgen.install(delay=delay)
 
@@ -595,6 +614,7 @@ class ScenarioRunner:
             load_stats=(self._loadgen.finalize().sim_dict()
                         if self._loadgen is not None else None),
             cluster_stats=cluster_stats,
+            obs_stats=(self.obs.stats_dict() if self.obs is not None else None),
         )
 
     # -- results access ----------------------------------------------------------
@@ -609,10 +629,12 @@ def run_scenario(
     scenario: Union[ScenarioSpec, str],
     config: Optional[OFLW3Config] = None,
     seed: Optional[int] = None,
+    observability: Any = False,
     **spec_overrides,
 ) -> ScenarioReport:
     """One-call convenience: build a runner, apply overrides, run, report."""
     spec = build_scenario(scenario) if isinstance(scenario, str) else scenario
     if spec_overrides:
         spec = spec.with_overrides(**spec_overrides)
-    return ScenarioRunner(spec, config=config, seed=seed).run()
+    return ScenarioRunner(spec, config=config, seed=seed,
+                          observability=observability).run()

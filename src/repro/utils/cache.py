@@ -78,6 +78,15 @@ class LRUCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> Dict[str, Any]:
+        """Canonical statistics spelling (alias of :meth:`snapshot`).
+
+        ``repro.obs`` samples every registered cache through this one name,
+        unifying the historical trio of ``address_cache_stats()``, the
+        ``storage_cacheStats`` RPC method and ``cache.snapshot()``.
+        """
+        return self.snapshot()
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-friendly statistics dump (deterministic across runs)."""
         return {

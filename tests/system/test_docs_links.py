@@ -70,6 +70,7 @@ class TestDocumentationLinks:
         assert any(d.name == "rpc.md" for d in DOCUMENTS)
         assert any(d.name == "simnet.md" for d in DOCUMENTS)
         assert any(d.name == "cli.md" for d in DOCUMENTS)
+        assert any(d.name == "observability.md" for d in DOCUMENTS)
 
     @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
     def test_relative_links_resolve(self, document):
@@ -108,3 +109,4 @@ class TestDocumentationLinks:
         assert "docs/rpc.md" in text
         assert "docs/simnet.md" in text
         assert "docs/cli.md" in text
+        assert "docs/observability.md" in text
