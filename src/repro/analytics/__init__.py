@@ -1,0 +1,37 @@
+"""repro.analytics: a WAL-fed columnar HTAP replica for analytical reads.
+
+The Polynesia design (PAPERS.md) on top of the repro stack: the OLTP
+:class:`~repro.chain.chain.Blockchain` keeps ingesting transactions while
+an :class:`AnalyticsStore` -- columnar arrays, sorted indexes and
+pre-aggregated rollups -- answers ``eth_getLogs``, explorer pages and
+marketplace leaderboards.  The :class:`AnalyticsFeeder` propagates changes
+from the write-ahead log (and its block archive), handles reorg rollback,
+and exposes explicit freshness (``applied_seq`` / lag).
+
+Attach with :func:`attach_analytics`; with no replica attached the stack's
+behavior is bit-for-bit the seed scan path.
+"""
+
+from repro.analytics.feeder import (
+    AnalyticsFeeder,
+    attach_analytics,
+    detach_analytics,
+)
+from repro.analytics.store import (
+    LEADERBOARDS,
+    PAYMENT_EVENT,
+    SUBMISSION_EVENT,
+    AnalyticsStore,
+    scan_leaderboard,
+)
+
+__all__ = [
+    "AnalyticsFeeder",
+    "AnalyticsStore",
+    "LEADERBOARDS",
+    "PAYMENT_EVENT",
+    "SUBMISSION_EVENT",
+    "attach_analytics",
+    "detach_analytics",
+    "scan_leaderboard",
+]

@@ -1,0 +1,517 @@
+"""The read-optimized side of the HTAP split: a columnar analytics store.
+
+Polynesia's design (PAPERS.md) separates the transactional replica -- the
+``Blockchain`` that validates and executes -- from an *analytical* replica
+maintained by change propagation from the update log.  This module is the
+analytical replica's storage layout:
+
+* **columnar arrays** over blocks, transactions and event logs (one Python
+  list per column, positions aligned with the chain/record/log streams the
+  OLTP scan paths expose), so range queries bisect instead of scanning;
+* **secondary indexes** -- positions by address, by event name, by
+  transaction hash -- so point lookups are ``O(log n)`` instead of a full
+  history walk;
+* **pre-aggregated rollups** maintained incrementally on every applied
+  block: fee summaries by transaction kind, per-address activity,
+  chain-wide totals and the payment / submission leaderboards the
+  marketplace's reporting reads.
+
+Every query method is *parity-pinned* against the OLTP scan path: given the
+same chain prefix, ``logs`` / ``logs_page`` / ``records_page`` / the
+aggregate methods return byte-identical results to ``Blockchain.logs``,
+``Blockchain.logs_page`` and :class:`~repro.chain.explorer.Explorer` --
+including cursor semantics (a full page always carries a cursor; a short
+page means "exhausted").  The feeder (:mod:`repro.analytics.feeder`) keeps
+this store caught up with the WAL and rolls it back across reorgs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chain.block import Block
+from repro.chain.events import EventLog, LogFilter, LogPage, parse_cursor
+from repro.chain.explorer import TransactionRecord
+from repro.errors import AnalyticsError
+
+#: Rollup names :meth:`AnalyticsStore.leaderboard` serves.
+LEADERBOARDS = ("payments", "submissions", "fees")
+
+#: Event names feeding the marketplace leaderboards (contribution series).
+PAYMENT_EVENT = "PaymentSent"
+SUBMISSION_EVENT = "CidUploaded"
+
+
+class AnalyticsStore:
+    """Columnar arrays + sorted indexes + incremental rollups over a chain.
+
+    Blocks are applied in order by :meth:`apply_block` (the feeder's change
+    propagation) and removed by :meth:`rollback_to` (reorg handling).  All
+    query methods are read-only and cheap: bisect over the block-number
+    columns for ranges, dict lookups for points, precomputed sums for the
+    aggregates.
+    """
+
+    def __init__(self) -> None:
+        # -- block columns (position = block number - 1; genesis excluded) --
+        self.block_hashes: List[str] = []
+        self.block_timestamps: List[float] = []
+        self.block_gas_used: List[int] = []
+        self.block_tx_counts: List[int] = []
+        #: Record-stream position of each block's first transaction.
+        self.block_tx_offsets: List[int] = []
+        #: Log-stream position of each block's first event log.
+        self.block_log_offsets: List[int] = []
+        # -- transaction columns (position = chain/record-stream order) --
+        self.records: List[TransactionRecord] = []
+        self.tx_blocks: List[int] = []
+        self.tx_fees: List[int] = []
+        self.tx_gas: List[int] = []
+        self.tx_kinds: List[str] = []
+        self.tx_position_by_hash: Dict[str, int] = {}
+        #: Sorted record positions per address (sender or recipient).
+        self.tx_positions_by_address: Dict[str, List[int]] = {}
+        # -- log columns (position = canonical log-stream order) --
+        self.logs_column: List[EventLog] = []
+        self.log_blocks: List[int] = []  # non-decreasing: bisect for ranges
+        self.log_positions_by_address: Dict[str, List[int]] = {}
+        self.log_positions_by_event: Dict[str, List[int]] = {}
+        # -- incremental rollups --
+        #: kind -> {count, total_fee_wei, total_gas_used, max_fee_wei,
+        #: min_fee_wei}; insertion order = first occurrence in the record
+        #: stream (matches the scan path's grouping order).
+        self.fee_rollup: Dict[str, Dict[str, int]] = {}
+        #: address -> {sent, received, fees_wei, value_received_wei}
+        self.account_rollup: Dict[str, Dict[str, int]] = {}
+        #: owner -> {"total_wei", "payments"} from ``PaymentSent`` events.
+        self.payment_rollup: Dict[str, Dict[str, int]] = {}
+        #: uploader -> {"submissions"} from ``CidUploaded`` events.
+        self.submission_rollup: Dict[str, Dict[str, int]] = {}
+        self.total_gas_used = 0
+        self.total_fees_wei = 0
+        self.failed_transactions = 0
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def height(self) -> int:
+        """Number of the last applied block (0 = only genesis known)."""
+        return len(self.block_hashes)
+
+    @property
+    def log_count(self) -> int:
+        """Length of the replicated canonical log stream."""
+        return len(self.logs_column)
+
+    @property
+    def record_count(self) -> int:
+        """Length of the replicated transaction-record stream."""
+        return len(self.records)
+
+    def block_hash_at(self, number: int) -> Optional[str]:
+        """Hash of applied block ``number`` (``None`` if not held)."""
+        if 1 <= number <= self.height:
+            return self.block_hashes[number - 1]
+        return None
+
+    # -- change propagation ----------------------------------------------------
+
+    def apply_block(self, block: Block) -> None:
+        """Append one block's rows to every column and update the rollups.
+
+        Blocks must arrive in chain order; the feeder enforces parent-hash
+        linkage before calling this.
+        """
+        number = block.number
+        if number != self.height + 1:
+            raise AnalyticsError(
+                f"analytics store at height {self.height} cannot apply "
+                f"block {number} (blocks must arrive in order)")
+        self.block_hashes.append(block.hash)
+        self.block_timestamps.append(block.timestamp)
+        self.block_gas_used.append(block.gas_used)
+        self.block_tx_counts.append(len(block.transactions))
+        self.block_tx_offsets.append(len(self.records))
+        self.block_log_offsets.append(len(self.logs_column))
+        for tx, receipt in zip(block.transactions, block.receipts):
+            record = TransactionRecord(transaction=tx, receipt=receipt)
+            position = len(self.records)
+            self.records.append(record)
+            self.tx_blocks.append(number)
+            self.tx_fees.append(record.fee_wei)
+            self.tx_gas.append(receipt.gas_used)
+            kind = record.kind
+            self.tx_kinds.append(kind)
+            self.tx_position_by_hash[tx.hash_hex] = position
+            self._index_tx_address(str(tx.sender), position)
+            if tx.to is not None and tx.to != tx.sender:
+                self._index_tx_address(str(tx.to), position)
+            self._roll_up_transaction(record, kind)
+            for index, log in enumerate(receipt.logs):
+                positioned = EventLog(
+                    address=log.address,
+                    name=log.name,
+                    args=log.args,
+                    block_number=number,
+                    transaction_hash=tx.hash_hex,
+                    log_index=index,
+                )
+                log_position = len(self.logs_column)
+                self.logs_column.append(positioned)
+                self.log_blocks.append(number)
+                self.log_positions_by_address.setdefault(
+                    str(positioned.address), []).append(log_position)
+                self.log_positions_by_event.setdefault(
+                    positioned.name, []).append(log_position)
+                self._roll_up_log(positioned)
+
+    def _index_tx_address(self, address: str, position: int) -> None:
+        positions = self.tx_positions_by_address.setdefault(address, [])
+        if not positions or positions[-1] != position:
+            insort(positions, position)
+
+    def _roll_up_transaction(self, record: TransactionRecord, kind: str) -> None:
+        fee = record.fee_wei
+        gas = record.receipt.gas_used
+        entry = self.fee_rollup.get(kind)
+        if entry is None:
+            self.fee_rollup[kind] = {
+                "count": 1, "total_fee_wei": fee, "total_gas_used": gas,
+                "max_fee_wei": fee, "min_fee_wei": fee,
+            }
+        else:
+            entry["count"] += 1
+            entry["total_fee_wei"] += fee
+            entry["total_gas_used"] += gas
+            if fee > entry["max_fee_wei"]:
+                entry["max_fee_wei"] = fee
+            if fee < entry["min_fee_wei"]:
+                entry["min_fee_wei"] = fee
+        tx = record.transaction
+        sender = self._account(str(tx.sender))
+        sender["sent"] += 1
+        sender["fees_wei"] += fee
+        if tx.to is not None:
+            recipient = self._account(str(tx.to))
+            recipient["received"] += 1
+            recipient["value_received_wei"] += tx.value
+        self.total_gas_used += gas
+        self.total_fees_wei += fee
+        if not record.receipt.status:
+            self.failed_transactions += 1
+
+    def _roll_up_log(self, log: EventLog) -> None:
+        if log.name == PAYMENT_EVENT:
+            owner = str(log.args.get("owner", ""))
+            entry = self.payment_rollup.setdefault(
+                owner, {"total_wei": 0, "payments": 0})
+            entry["total_wei"] += int(log.args.get("amount", 0))
+            entry["payments"] += 1
+        elif log.name == SUBMISSION_EVENT:
+            uploader = str(log.args.get("uploader", ""))
+            entry = self.submission_rollup.setdefault(
+                uploader, {"submissions": 0})
+            entry["submissions"] += 1
+
+    def _account(self, address: str) -> Dict[str, int]:
+        entry = self.account_rollup.get(address)
+        if entry is None:
+            entry = {"sent": 0, "received": 0, "fees_wei": 0,
+                     "value_received_wei": 0}
+            self.account_rollup[address] = entry
+        return entry
+
+    def rollback_to(self, fork_height: int) -> Dict[str, int]:
+        """Truncate every column to ``fork_height`` and rebuild the rollups.
+
+        Reorgs are rare and shallow, so the rollups are recomputed from the
+        surviving columns (simple and obviously parity-correct) instead of
+        decremented in place.  Returns what was removed.
+        """
+        if fork_height < 0 or fork_height > self.height:
+            raise AnalyticsError(
+                f"cannot roll back to height {fork_height} "
+                f"(store is at {self.height})")
+        removed = {"blocks": self.height - fork_height, "transactions": 0,
+                   "logs": 0}
+        if removed["blocks"] == 0:
+            return removed
+        tx_keep = self.block_tx_offsets[fork_height] if fork_height else 0
+        log_keep = self.block_log_offsets[fork_height] if fork_height else 0
+        removed["transactions"] = len(self.records) - tx_keep
+        removed["logs"] = len(self.logs_column) - log_keep
+
+        del self.block_hashes[fork_height:]
+        del self.block_timestamps[fork_height:]
+        del self.block_gas_used[fork_height:]
+        del self.block_tx_counts[fork_height:]
+        del self.block_tx_offsets[fork_height:]
+        del self.block_log_offsets[fork_height:]
+        for record in self.records[tx_keep:]:
+            self.tx_position_by_hash.pop(record.transaction.hash_hex, None)
+        del self.records[tx_keep:]
+        del self.tx_blocks[tx_keep:]
+        del self.tx_fees[tx_keep:]
+        del self.tx_gas[tx_keep:]
+        del self.tx_kinds[tx_keep:]
+        del self.logs_column[log_keep:]
+        del self.log_blocks[log_keep:]
+        self._rebuild_indexes_and_rollups()
+        return removed
+
+    def _rebuild_indexes_and_rollups(self) -> None:
+        """Recompute secondary indexes and rollups from the truncated columns."""
+        self.tx_positions_by_address = {}
+        self.log_positions_by_address = {}
+        self.log_positions_by_event = {}
+        self.fee_rollup = {}
+        self.account_rollup = {}
+        self.payment_rollup = {}
+        self.submission_rollup = {}
+        self.total_gas_used = 0
+        self.total_fees_wei = 0
+        self.failed_transactions = 0
+        for position, record in enumerate(self.records):
+            tx = record.transaction
+            self._index_tx_address(str(tx.sender), position)
+            if tx.to is not None and tx.to != tx.sender:
+                self._index_tx_address(str(tx.to), position)
+            self._roll_up_transaction(record, self.tx_kinds[position])
+        for position, log in enumerate(self.logs_column):
+            self.log_positions_by_address.setdefault(
+                str(log.address), []).append(position)
+            self.log_positions_by_event.setdefault(
+                log.name, []).append(position)
+            self._roll_up_log(log)
+
+    # -- log queries (parity with Blockchain.logs / logs_page) ---------------------
+
+    def _candidate_positions(self, log_filter: LogFilter) -> Optional[List[int]]:
+        """The smallest applicable index's positions (``None`` = no index)."""
+        candidates: Optional[List[int]] = None
+        if log_filter.address is not None:
+            candidates = self.log_positions_by_address.get(
+                str(log_filter.address), [])
+        if log_filter.event_name is not None:
+            by_event = self.log_positions_by_event.get(log_filter.event_name, [])
+            if candidates is None or len(by_event) < len(candidates):
+                candidates = by_event
+        return candidates
+
+    def _range_bounds(self, log_filter: Optional[LogFilter]) -> Tuple[int, int]:
+        """Log-stream positions covering the filter's block range."""
+        if log_filter is None:
+            return 0, len(self.log_blocks)
+        lo = bisect_left(self.log_blocks, log_filter.from_block) \
+            if log_filter.from_block > 0 else 0
+        hi = bisect_right(self.log_blocks, log_filter.to_block) \
+            if log_filter.to_block is not None else len(self.log_blocks)
+        return lo, hi
+
+    def logs(self, log_filter: Optional[LogFilter] = None) -> List[EventLog]:
+        """All matching logs, in canonical stream order (scan-path parity)."""
+        if log_filter is None:
+            return list(self.logs_column)
+        candidates = self._candidate_positions(log_filter)
+        lo, hi = self._range_bounds(log_filter)
+        if candidates is None:
+            return [log for log in self.logs_column[lo:hi]
+                    if log_filter.matches(log)]
+        start = bisect_left(candidates, lo)
+        matched: List[EventLog] = []
+        for position in candidates[start:]:
+            if position >= hi:
+                break
+            log = self.logs_column[position]
+            if log_filter.matches(log):
+                matched.append(log)
+        return matched
+
+    def logs_page(
+        self,
+        log_filter: Optional[LogFilter] = None,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> LogPage:
+        """One page of the canonical log stream (cursor-parity with the chain).
+
+        Cursors are positions in the append-only log stream, exactly as
+        ``Blockchain.logs_page`` issues them: a full page always carries a
+        cursor, a short page means "exhausted".
+        """
+        start = parse_cursor(cursor, "log")
+        if limit is not None and limit <= 0:
+            raise ValueError(f"log page limit must be positive, got {limit}")
+        lo, hi = self._range_bounds(log_filter)
+        lo = max(lo, start)
+        candidates = None if log_filter is None \
+            else self._candidate_positions(log_filter)
+        if candidates is None:
+            positions: Any = range(lo, hi)
+        else:
+            positions = candidates[bisect_left(candidates, lo):]
+        matched: List[EventLog] = []
+        next_cursor: Optional[str] = None
+        for position in positions:
+            if position >= hi:
+                break
+            log = self.logs_column[position]
+            if log_filter is not None and not log_filter.matches(log):
+                continue
+            matched.append(log)
+            if limit is not None and len(matched) >= limit:
+                next_cursor = str(position + 1)
+                break
+        return LogPage(logs=matched, next_cursor=next_cursor)
+
+    # -- record queries (parity with Explorer) -----------------------------------
+
+    def record(self, tx_hash: str) -> Optional[TransactionRecord]:
+        """Point lookup of one transaction record by hash (O(1))."""
+        position = self.tx_position_by_hash.get(tx_hash)
+        return self.records[position] if position is not None else None
+
+    def transactions_of(self, address: str) -> List[TransactionRecord]:
+        """Records sent by or addressed to ``address``, in chain order."""
+        positions = self.tx_positions_by_address.get(address, [])
+        return [self.records[position] for position in positions]
+
+    def records_page(
+        self,
+        address: Optional[str] = None,
+        limit: int = 50,
+        cursor: Optional[str] = None,
+    ) -> Tuple[List[TransactionRecord], Optional[str]]:
+        """One page of transaction records (cursor-parity with the explorer)."""
+        if limit <= 0:
+            raise ValueError(f"records_page limit must be positive, got {limit}")
+        start = parse_cursor(cursor, "records")
+        if address is None:
+            page = self.records[start:start + limit]
+            next_cursor = str(start + limit) if len(page) >= limit else None
+            return page, next_cursor
+        candidates = self.tx_positions_by_address.get(address, [])
+        page = []
+        next_cursor = None
+        for position in candidates[bisect_left(candidates, start):]:
+            page.append(self.records[position])
+            if len(page) >= limit:
+                next_cursor = str(position + 1)
+                break
+        return page, next_cursor
+
+    # -- aggregate rollups (parity with Explorer aggregates) -----------------------
+
+    def fee_summary_by_kind(self) -> Dict[str, Dict[str, float]]:
+        """Fee/gas statistics by transaction kind, from the rollup."""
+        summary: Dict[str, Dict[str, float]] = {}
+        for kind, entry in self.fee_rollup.items():
+            count = entry["count"]
+            summary[kind] = {
+                "count": count,
+                "total_fee_wei": entry["total_fee_wei"],
+                "mean_fee_wei": entry["total_fee_wei"] / count,
+                "mean_gas_used": entry["total_gas_used"] / count,
+                "max_fee_wei": entry["max_fee_wei"],
+                "min_fee_wei": entry["min_fee_wei"],
+            }
+        return summary
+
+    def account_columns(self, address: str) -> Dict[str, int]:
+        """Per-address activity counters (the scan-heavy half of the
+        explorer's ``account_activity``; balance and nonce stay point
+        lookups on the OLTP state)."""
+        entry = self.account_rollup.get(address)
+        if entry is None:
+            entry = {"sent": 0, "received": 0, "fees_wei": 0,
+                     "value_received_wei": 0}
+        return {
+            "transactions_sent": entry["sent"],
+            "transactions_received": entry["received"],
+            "total_fees_paid_wei": entry["fees_wei"],
+            "total_value_received_wei": entry["value_received_wei"],
+        }
+
+    def chain_statistics(self) -> Dict[str, int]:
+        """Whole-chain totals (parity with ``Explorer.chain_statistics``)."""
+        return {
+            "height": self.height,
+            "total_transactions": len(self.records),
+            "total_gas_used": self.total_gas_used,
+            "total_fees_wei": self.total_fees_wei,
+            "failed_transactions": self.failed_transactions,
+        }
+
+    def leaderboard(self, name: str = "payments",
+                    limit: int = 10) -> List[Dict[str, Any]]:
+        """A marketplace leaderboard from the pre-aggregated rollups.
+
+        ``payments`` ranks owners by total ``PaymentSent`` wei, ``submissions``
+        ranks uploaders by ``CidUploaded`` count, ``fees`` ranks senders by
+        total fees paid.  Ties break on ascending address so the ranking is
+        deterministic.
+        """
+        if limit <= 0:
+            raise ValueError(f"leaderboard limit must be positive, got {limit}")
+        if name == "payments":
+            rows = [{"address": owner, "total_wei": entry["total_wei"],
+                     "payments": entry["payments"]}
+                    for owner, entry in self.payment_rollup.items()]
+            rows.sort(key=lambda row: (-row["total_wei"], row["address"]))
+        elif name == "submissions":
+            rows = [{"address": uploader, "submissions": entry["submissions"]}
+                    for uploader, entry in self.submission_rollup.items()]
+            rows.sort(key=lambda row: (-row["submissions"], row["address"]))
+        elif name == "fees":
+            rows = [{"address": address, "total_fees_paid_wei": entry["fees_wei"],
+                     "transactions_sent": entry["sent"]}
+                    for address, entry in self.account_rollup.items()
+                    if entry["sent"] > 0]
+            rows.sort(key=lambda row: (-row["total_fees_paid_wei"],
+                                       row["address"]))
+        else:
+            raise AnalyticsError(
+                f"unknown leaderboard {name!r} (expected one of {LEADERBOARDS})")
+        return rows[:limit]
+
+    def series(self, event_name: str) -> List[Dict[str, Any]]:
+        """The (block_number, args) time series of one event name.
+
+        This is the contribution/model-quality series hook: ``CidUploaded``
+        gives the submission timeline, ``PaymentSent`` the payout timeline.
+        """
+        positions = self.log_positions_by_event.get(event_name, [])
+        return [
+            {"block_number": self.logs_column[position].block_number,
+             "transaction_hash": self.logs_column[position].transaction_hash,
+             "args": dict(self.logs_column[position].args)}
+            for position in positions
+        ]
+
+    def stats(self) -> Dict[str, int]:
+        """Row counts per table (the ``analytics_status`` surface)."""
+        return {
+            "height": self.height,
+            "blocks": self.height,
+            "transactions": len(self.records),
+            "logs": len(self.logs_column),
+            "addresses": len(self.account_rollup),
+            "event_names": len(self.log_positions_by_event),
+        }
+
+
+def scan_leaderboard(chain: Any, name: str = "payments",
+                     limit: int = 10) -> List[Dict[str, Any]]:
+    """The OLTP scan-path equivalent of :meth:`AnalyticsStore.leaderboard`.
+
+    Walks chain history directly (no replica involved); the parity tests and
+    the CLI's parity check compare its output byte-for-byte against the
+    replica rollup.
+    """
+    store = AnalyticsStore()
+    for block in chain.iter_blocks():
+        if block.number == 0:
+            continue
+        store.apply_block(block)
+    return store.leaderboard(name, limit)

@@ -166,6 +166,11 @@ class Blockchain:
         self.obs: Optional[Any] = None
         #: Replica label stamped on this chain's spans (``None`` single-node).
         self.obs_label: Optional[str] = None
+        #: Optional analytics replica (``repro.analytics``).  ``None`` -- the
+        #: seed default -- serves every analytical read from the in-process
+        #: scan path; attached via ``repro.analytics.attach_analytics``, which
+        #: routes ``logs``/``logs_page`` (and the explorer) to the replica.
+        self.analytics: Optional[Any] = None
 
     # -- chain accessors -----------------------------------------------------
 
@@ -194,6 +199,15 @@ class Blockchain:
         """All blocks from genesis to the tip."""
         return list(self._blocks)
 
+    def iter_blocks(self):
+        """Iterate blocks from genesis to the tip without a list copy.
+
+        The iterator variant of :meth:`blocks` for internal scan sites
+        (explorer walks, replica resync, analytics backfill) that only need
+        one pass and not a stable snapshot.
+        """
+        return iter(self._blocks)
+
     def get_receipt(self, tx_hash: str) -> TransactionReceipt:
         """Receipt of an included transaction."""
         receipt = self._receipts.get(tx_hash)
@@ -216,9 +230,23 @@ class Blockchain:
 
     def logs(self, log_filter: Optional[LogFilter] = None) -> List[EventLog]:
         """All event logs on the canonical chain, optionally filtered."""
+        if self.analytics is not None:
+            return self.analytics.logs(log_filter)
         if log_filter is None:
             return list(self._logs)
         return log_filter.apply(self._logs)
+
+    def iter_logs(self, log_filter: Optional[LogFilter] = None):
+        """Iterate matching logs without materializing a list copy.
+
+        The iterator variant of :meth:`logs` for internal scan sites; it
+        always walks the OLTP log stream (never the analytics replica), so
+        the replica's own backfill and the parity tests can use it as the
+        ground truth.
+        """
+        if log_filter is None:
+            return iter(self._logs)
+        return (log for log in self._logs if log_filter.matches(log))
 
     @property
     def log_count(self) -> int:
@@ -237,6 +265,9 @@ class Blockchain:
         page's ``next_cursor`` back to resume exactly where it stopped.
         Cursors never invalidate because logs are only ever appended.
         """
+        if self.analytics is not None:
+            return self.analytics.logs_page(log_filter, limit=limit,
+                                            cursor=cursor)
         start = parse_cursor(cursor, "log")
         if limit is not None and limit <= 0:
             raise ValueError(f"log page limit must be positive, got {limit}")
@@ -748,6 +779,10 @@ class Blockchain:
             # could not recover through; snapshotting at the new head compacts
             # them away, so a replica restart recovers the post-reorg chain.
             self.store.snapshot()
+        if self.analytics is not None:
+            # The analytics replica truncates to the fork point now and
+            # replays the new branch from the archive on its next drain.
+            self.analytics.on_reorg(fork_height)
         return abandoned
 
     #: Rollback snapshots retained per fork-choice chain.  Bounds memory on

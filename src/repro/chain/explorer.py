@@ -59,24 +59,73 @@ class TransactionRecord:
 
 
 class Explorer:
-    """Read-only analytics over a :class:`Blockchain`."""
+    """Read-only analytics over a :class:`Blockchain`.
+
+    When an analytics replica is attached to the chain
+    (``repro.analytics.attach_analytics``), every scan-backed query below is
+    transparently served from the replica's columns and rollups; results
+    are parity-identical to the scan path.  Without a replica, the record
+    stream is materialized once per chain tip and reused across calls
+    (``fee_summary_by_kind`` + ``account_activity`` + ``chain_statistics``
+    back-to-back used to trigger three full history re-scans).
+    """
 
     def __init__(self, chain: Blockchain) -> None:
         self.chain = chain
+        #: Tip-keyed record-stream cache (no-replica path).  Treat the
+        #: returned list as read-only: it is shared across calls.
+        self._records_cache: Optional[List[TransactionRecord]] = None
+        self._cache_tip_hash: Optional[str] = None
+        self._cache_height: int = 0
 
     # -- record retrieval -----------------------------------------------------
 
     def all_records(self) -> List[TransactionRecord]:
-        """Every included transaction joined with its receipt, in chain order."""
-        records: List[TransactionRecord] = []
-        for block in self.chain.blocks():
+        """Every included transaction joined with its receipt, in chain order.
+
+        The list is cached by chain tip: repeat calls at the same height
+        return the same (read-only) list, and growth since the cached tip
+        is appended incrementally instead of re-walking all of history.  A
+        reorg (cached tip no longer canonical) rebuilds from scratch.
+        """
+        analytics = self.chain.analytics
+        if analytics is not None:
+            return analytics.records()
+        tip = self.chain.latest_block
+        if self._records_cache is not None:
+            if tip.hash == self._cache_tip_hash:
+                return self._records_cache
+            if (self._cache_height <= self.chain.height
+                    and self.chain.get_block(self._cache_height).hash
+                    == self._cache_tip_hash):
+                # The cached prefix is still canonical: extend, don't rescan.
+                records = list(self._records_cache)
+                for number in range(self._cache_height + 1,
+                                    self.chain.height + 1):
+                    block = self.chain.get_block(number)
+                    for tx, receipt in zip(block.transactions, block.receipts):
+                        records.append(
+                            TransactionRecord(transaction=tx, receipt=receipt))
+                self._store_cache(records, tip)
+                return records
+        records = []
+        for block in self.chain.iter_blocks():
             for tx, receipt in zip(block.transactions, block.receipts):
                 records.append(TransactionRecord(transaction=tx, receipt=receipt))
+        self._store_cache(records, tip)
         return records
+
+    def _store_cache(self, records: List[TransactionRecord], tip) -> None:
+        self._records_cache = records
+        self._cache_tip_hash = tip.hash
+        self._cache_height = tip.number
 
     def transactions_of(self, address: Address | str) -> List[TransactionRecord]:
         """Transactions sent by or addressed to ``address``."""
         addr = Address(address)
+        analytics = self.chain.analytics
+        if analytics is not None:
+            return analytics.transactions_of(str(addr))
         return [
             record
             for record in self.all_records()
@@ -85,6 +134,9 @@ class Explorer:
 
     def record(self, tx_hash: str) -> Optional[TransactionRecord]:
         """Find a single transaction record by hash."""
+        analytics = self.chain.analytics
+        if analytics is not None:
+            return analytics.record(tx_hash)
         for candidate in self.all_records():
             if candidate.transaction.hash_hex == tx_hash:
                 return candidate
@@ -103,6 +155,11 @@ class Explorer:
         page plus the next cursor (``None`` when exhausted) -- this is what
         keeps explorer queries bounded over long simnet runs.
         """
+        analytics = self.chain.analytics
+        if analytics is not None:
+            return analytics.records_page(
+                str(Address(address)) if address is not None else None,
+                limit=limit, cursor=cursor)
         if limit <= 0:
             raise ValueError(f"records_page limit must be positive, got {limit}")
         start = parse_cursor(cursor, "records")
@@ -113,7 +170,7 @@ class Explorer:
         # cursor, so per-page work is bounded by the scan distance rather
         # than materializing every record on every call.
         position = 0
-        for block in self.chain.blocks():
+        for block in self.chain.iter_blocks():
             block_size = len(block.transactions)
             if position + block_size <= start:
                 position += block_size
@@ -147,6 +204,9 @@ class Explorer:
         This is the data behind Fig. 5: deployment transactions carry the
         heaviest fees, CID submissions and payments are comparable.
         """
+        analytics = self.chain.analytics
+        if analytics is not None:
+            return analytics.fee_summary_by_kind()
         groups: Dict[str, List[TransactionRecord]] = {}
         for rec in self.all_records():
             groups.setdefault(rec.kind, []).append(rec)
@@ -165,8 +225,23 @@ class Explorer:
         return summary
 
     def account_activity(self, address: Address | str) -> dict:
-        """Etherscan-style account overview."""
+        """Etherscan-style account overview.
+
+        The replica-routed path is a hybrid read: the scan-heavy counters
+        come from the analytics rollup while ``balance_wei``/``nonce`` stay
+        O(1) point reads on the OLTP world state (contract-internal
+        transfers move value the record stream cannot see).
+        """
         addr = Address(address)
+        analytics = self.chain.analytics
+        if analytics is not None:
+            columns = analytics.account_columns(str(addr))
+            return {
+                "address": str(addr),
+                "balance_wei": self.chain.state.balance_of(addr),
+                "nonce": self.chain.state.nonce_of(addr),
+                **columns,
+            }
         records = self.transactions_of(addr)
         sent = [rec for rec in records if rec.transaction.sender == addr]
         received = [rec for rec in records if rec.transaction.to == addr]
@@ -182,6 +257,9 @@ class Explorer:
 
     def chain_statistics(self) -> dict:
         """Whole-chain statistics (blocks, transactions, gas)."""
+        analytics = self.chain.analytics
+        if analytics is not None:
+            return analytics.chain_statistics()
         records = self.all_records()
         return {
             "height": self.chain.height,

@@ -24,6 +24,11 @@ Subcommands
     Inspect, verify (replay to the recovered chain head) or compact a
     persistent store directory written by ``run --store DIR``
     (``repro.storage``: WAL + snapshots + IPFS blobs).
+``analytics``
+    Attach a columnar analytics replica (``repro.analytics``) to a store
+    directory written by ``run --store DIR``: print its freshness status,
+    run replica-served queries with an OLTP-scan parity check, or backfill
+    the columns from scratch off the WAL + archive.
 ``cluster``
     Spin up an N-replica chain replication cluster (``repro.cluster``),
     drive a few funded transfers through leader rotation and gossip, and
@@ -225,6 +230,29 @@ def build_parser() -> argparse.ArgumentParser:
                                      "recovered head; compact: snapshot at the "
                                      "head and truncate the WAL")
     storage_parser.add_argument("directory", help="store directory (from run --store)")
+
+    analytics_parser = subparsers.add_parser(
+        "analytics", help="attach a columnar analytics replica to a store "
+                          "directory and query it (repro.analytics)")
+    analytics_parser.add_argument(
+        "action", choices=["status", "query", "backfill"],
+        help="status: replica freshness and per-table row counts; "
+             "query: replica-served logs/leaderboard/fee summary with an "
+             "OLTP-scan parity check; "
+             "backfill: rebuild the columns from scratch off the WAL + "
+             "archive")
+    analytics_parser.add_argument("directory",
+                                  help="store directory (from run --store)")
+    analytics_parser.add_argument("--leaderboard", default="payments",
+                                  choices=["payments", "submissions", "fees"],
+                                  help="query: which leaderboard to print")
+    analytics_parser.add_argument("--event", default=None, metavar="NAME",
+                                  help="query: filter logs by event name "
+                                       "(e.g. PaymentSent)")
+    analytics_parser.add_argument("--limit", type=int, default=10,
+                                  help="query: leaderboard rows (default: 10)")
+    analytics_parser.add_argument("--json", action="store_true", dest="as_json",
+                                  help="print the full result document as JSON")
 
     cluster_parser = subparsers.add_parser(
         "cluster", help="run a replication cluster and print its status")
@@ -681,6 +709,100 @@ def _command_storage(args: argparse.Namespace) -> int:
         engine.close()
 
 
+def _command_analytics(args: argparse.Namespace) -> int:
+    """Implement the ``analytics`` subcommand (status / query / backfill)."""
+    import json
+    from pathlib import Path
+
+    from repro.analytics import attach_analytics, scan_leaderboard
+    from repro.chain.events import LogFilter
+    from repro.chain.explorer import Explorer
+    from repro.contracts import default_registry
+    from repro.errors import ReproError
+    from repro.storage import StorageConfig, StorageEngine
+    from repro.storage.engine import recover_chain
+
+    directory = Path(args.directory)
+    if not directory.is_dir() or not (directory / "wal").is_dir():
+        print(f"error: {args.directory} is not a store directory", file=sys.stderr)
+        return 2
+    engine = StorageEngine(StorageConfig(backend="log", directory=args.directory))
+    try:
+        chain = recover_chain(engine, backend=default_registry())
+        feeder = attach_analytics(chain)
+
+        if args.action == "backfill":
+            result = feeder.backfill()
+            print(f"backfilled {result['blocks_applied']} block(s) from the "
+                  f"WAL + archive (height {result['height']}, "
+                  f"applied_seq {result['applied_seq']})")
+            if args.as_json:
+                print(json.dumps(feeder.status(), indent=2, sort_keys=True))
+            return 0
+
+        if args.action == "status":
+            status = feeder.status()
+            if args.as_json:
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0
+            print(f"analytics replica over {args.directory}: "
+                  f"height={status['height']} "
+                  f"applied_seq={status['applied_seq']} "
+                  f"wal_last_seq={status['wal_last_seq']} "
+                  f"lag={status['lag_entries']}")
+            print(f"tables: transactions={status['transactions']} "
+                  f"logs={status['logs']} addresses={status['addresses']} "
+                  f"event_names={status['event_names']}")
+            print(f"counters: rollbacks={status['rollbacks']} "
+                  f"queries={status['queries']}")
+            return 0
+
+        # query: replica-served reads, parity-checked against the OLTP scan
+        # path on the same recovered chain (the feeder is detached for the
+        # scan so the comparison exercises the seed code, not the replica).
+        log_filter = (LogFilter(event_name=args.event) if args.event
+                      else LogFilter())
+        replica_logs = [log.to_dict() for log in feeder.logs(log_filter)]
+        replica_board = feeder.leaderboard(args.leaderboard, args.limit)
+        replica_fees = feeder.fee_summary_by_kind()
+        chain.analytics = None
+        try:
+            scan_logs = [log.to_dict() for log in chain.logs(log_filter)]
+            scan_board = scan_leaderboard(chain, args.leaderboard, args.limit)
+            scan_fees = Explorer(chain).fee_summary_by_kind()
+        finally:
+            chain.analytics = feeder
+        parity = (replica_logs == scan_logs and replica_board == scan_board
+                  and replica_fees == scan_fees)
+        if args.as_json:
+            print(json.dumps({"logs": replica_logs,
+                              "leaderboard": replica_board,
+                              "fee_summary": replica_fees,
+                              "parity": "ok" if parity else "failed"},
+                             indent=2, sort_keys=True))
+            return 0 if parity else 3
+        print(f"{len(replica_logs)} log(s) match"
+              + (f" event={args.event}" if args.event else ""))
+        print(f"leaderboard {args.leaderboard!r} (top {args.limit}):")
+        value_key = {"payments": "total_wei", "submissions": "submissions",
+                     "fees": "total_fees_paid_wei"}[args.leaderboard]
+        for rank, row in enumerate(replica_board, start=1):
+            print(f"  {rank:>2}. {row['address']}  {value_key}={row[value_key]}")
+        print("fee summary by kind:")
+        for kind, row in replica_fees.items():
+            print(f"  {kind}: count={row['count']} "
+                  f"mean_fee_wei={row['mean_fee_wei']:.0f} "
+                  f"mean_gas_used={row['mean_gas_used']:.0f}")
+        print(f"parity={'ok' if parity else 'FAILED'} "
+              f"(replica vs OLTP scan: logs, leaderboard, fee summary)")
+        return 0 if parity else 3
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    finally:
+        engine.close()
+
+
 def _command_cluster(args: argparse.Namespace) -> int:
     """Implement the ``cluster`` subcommand (status)."""
     import json
@@ -756,12 +878,13 @@ def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
     print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
-          "storage, system, simnet, loadgen, cluster, obs")
+          "storage, system, simnet, loadgen, cluster, obs, analytics")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
           "repro.rpc.MarketplaceClient, repro.storage.recover_node, "
-          "repro.cluster.ChainCluster")
+          "repro.cluster.ChainCluster, repro.analytics.attach_analytics")
     print("docs: README.md, docs/architecture.md, docs/rpc.md, docs/simnet.md, "
-          "docs/cli.md, docs/performance.md, docs/observability.md")
+          "docs/cli.md, docs/performance.md, docs/observability.md, "
+          "docs/analytics.md")
     return 0
 
 
@@ -784,6 +907,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_rpc(args)
     if args.command == "storage":
         return _command_storage(args)
+    if args.command == "analytics":
+        return _command_analytics(args)
     if args.command == "cluster":
         return _command_cluster(args)
     if args.command == "gas-report":

@@ -247,6 +247,25 @@ class ChainCluster:
                 "and the designated leader is down)")
         return leader
 
+    def attach_follower_analytics(self) -> Any:
+        """Attach a columnar analytics replica to a *follower* replica.
+
+        Picks the alive replica furthest from write leadership (the last
+        one in rotation order after the current leader) so analytical
+        scans never share a process with the ingest leader -- the HTAP
+        placement Polynesia argues for.  With only one replica alive, that
+        replica serves both roles.  Returns the feeder; the follower's
+        ``logs``/``logs_page`` fan-out reads are served from the columns
+        from now on (sticky across crash/recover/resync).
+        """
+        leader = self.leader_replica()
+        alive = self.alive_replicas()
+        follower = max(
+            alive,
+            key=lambda replica:
+                (replica.index - leader.index) % len(self.replicas))
+        return follower.attach_analytics()
+
     # -- production ----------------------------------------------------------------
 
     def pump(self) -> int:

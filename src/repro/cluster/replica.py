@@ -67,12 +67,38 @@ class Replica:
         #: default.  Recover/resync replace the chain object, so every
         #: replacement point re-attaches via :meth:`_reattach_obs`.
         self.obs: Optional[Any] = None
+        #: Whether this replica serves analytical reads from a columnar
+        #: analytics replica over its own WAL (``repro.analytics``).  Sticky
+        #: across crash/recover/resync: every chain replacement point
+        #: re-attaches a fresh feeder, which backfills from the archive.
+        self.analytics_enabled = False
         self.chain = self._fresh_chain()
 
     def _reattach_obs(self) -> None:
         """Point the observability hooks at the (possibly new) chain object."""
         if self.obs is not None:
             self.obs.attach_chain(self.chain, self.name)
+
+    def attach_analytics(self) -> Any:
+        """Serve this replica's reads from a columnar analytics replica.
+
+        The HTAP follower-replica pattern: the cluster's fan-out read path
+        (``ClusterNode._read_chain``) already round-robins ``logs`` /
+        ``logs_page`` over caught-up replicas, so attaching a feeder here
+        transparently serves those reads from the columns while the leader
+        keeps its ingest path untouched.  Returns the feeder.
+        """
+        from repro.analytics import attach_analytics
+
+        self.analytics_enabled = True
+        return attach_analytics(self.chain, obs=self.obs)
+
+    def _reattach_analytics(self) -> None:
+        """Re-attach a fresh analytics feeder after a chain replacement."""
+        if self.analytics_enabled:
+            from repro.analytics import attach_analytics
+
+            attach_analytics(self.chain, obs=self.obs)
 
     def _fresh_chain(self) -> Blockchain:
         """A new empty chain bound to this replica's identity and store."""
@@ -151,6 +177,7 @@ class Replica:
                                  snapshot_interval=self.fork_snapshot_interval)
         self.chain = chain
         self._reattach_obs()
+        self._reattach_analytics()
         for address, amount in self.missed_mints:
             self.chain.mint(address, amount)
         self.missed_mints.clear()
@@ -178,7 +205,9 @@ class Replica:
             genesis_timestamp=self.genesis_timestamp,
             store=self.engine.chain_store(),
         )
-        for block in origin.chain.blocks()[1:]:
+        for block in origin.chain.iter_blocks():
+            if block.number == 0:
+                continue
             chain.import_block(block.to_record())
         chain.state = restore_state(encode_state(origin.chain.state),
                                     self.registry)
@@ -193,6 +222,7 @@ class Replica:
                                  snapshot_interval=self.fork_snapshot_interval)
         self.chain = chain
         self._reattach_obs()
+        self._reattach_analytics()
         self.resyncs += 1
         if self.obs is not None:
             self.obs.event("cluster.resync", replica=self.name,

@@ -262,3 +262,13 @@ class ClusterError(ReproError):
 class ObservabilityError(ReproError):
     """Misuse of the observability layer (metric name clash, bad label set,
     malformed metric name)."""
+
+
+# ---------------------------------------------------------------------------
+# Analytics replica (repro.analytics)
+# ---------------------------------------------------------------------------
+
+
+class AnalyticsError(ReproError):
+    """An analytics-replica operation failed (no WAL to feed from, broken
+    block linkage during change propagation, unknown rollup)."""

@@ -317,11 +317,14 @@ class LoadGenerator:
     def _dispatch(self, kind: str, client_index: int) -> None:
         if kind == "oflw3" and self.oflw3_backend_key is None:
             kind = "read"
+        if kind == "analytics" and getattr(self.rpc.gateway, "analytics", None) is None:
+            kind = "read"
         handler = {
             "transfer": self._do_transfer,
             "read": self._do_read,
             "ipfs": self._do_ipfs,
             "oflw3": self._do_oflw3,
+            "analytics": self._do_analytics,
         }[kind]
         handler(client_index)
 
@@ -384,6 +387,23 @@ class LoadGenerator:
         started = time.perf_counter()
         try:
             self.rpc.call("oflw3_health", backend=self.oflw3_backend_key)
+        except ReproError as error:
+            stats.record_error(error, time.perf_counter() - started)
+            return
+        stats.record_success(time.perf_counter() - started)
+
+    def _do_analytics(self, client_index: int) -> None:
+        """One analytical read against the attached columnar replica."""
+        stats = self._op("analytics")
+        choice = int(self._op_rng.integers(3))
+        started = time.perf_counter()
+        try:
+            if choice == 0:
+                self.rpc.call("analytics_leaderboard", name="payments", limit=10)
+            elif choice == 1:
+                self.rpc.call("analytics_feeSummary")
+            else:
+                self.rpc.call("analytics_chainStatistics")
         except ReproError as error:
             stats.record_error(error, time.perf_counter() - started)
             return

@@ -9,6 +9,10 @@ read       a chain read (``eth_getBalance`` / ``eth_blockNumber``)
 ipfs       fetch a pre-seeded object (``ipfs_cat``), Zipf-skewed over CIDs
 oflw3      a marketplace backend route (``oflw3_health`` / ``oflw3_task``);
            requires a backend on the gateway, otherwise re-drawn as a read
+analytics  an analytical read against the columnar replica
+           (``analytics_leaderboard`` / ``analytics_feeSummary`` /
+           ``analytics_chainStatistics``); requires an attached replica
+           (``repro.analytics``), otherwise re-drawn as a read
 ========== ==================================================================
 
 The client population is a deterministic set of labeled key pairs, funded by
@@ -27,7 +31,7 @@ from repro.chain.keys import KeyPair
 from repro.errors import SimulationError
 from repro.utils.rng import SeedLike, make_rng
 
-OP_KINDS = ("transfer", "read", "ipfs", "oflw3")
+OP_KINDS = ("transfer", "read", "ipfs", "oflw3", "analytics")
 
 DEFAULT_MIX: Dict[str, float] = {"transfer": 0.5, "read": 0.35, "ipfs": 0.15}
 

@@ -141,6 +141,40 @@ def register_storage(registry: MetricsRegistry, engine: Any) -> None:
     registry.register_collector(collect)
 
 
+def register_analytics(registry: MetricsRegistry, feeder: Any) -> None:
+    """Sample an analytics feeder's freshness and replica-size gauges.
+
+    ``applied_seq`` / ``lag_entries`` are the HTAP freshness pair: how far
+    the columnar replica trails the WAL between queries (queries drain
+    first, so user-visible reads are always fresh -- the lag gauge shows
+    the propagation debt that drain paid down).
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        status = feeder.status()
+        reg.gauge("repro_analytics_applied_seq",
+                  "Last WAL sequence number applied to the analytics replica."
+                  ).child.set(status["applied_seq"])
+        reg.gauge("repro_analytics_lag_entries",
+                  "WAL entries the analytics replica is behind.").child.set(
+                      status["lag_entries"])
+        reg.gauge("repro_analytics_height",
+                  "Chain height replicated into the analytics columns."
+                  ).child.set(status["height"])
+        rows = reg.gauge("repro_analytics_rows",
+                         "Rows held per analytics table.", ("table",))
+        rows.labels(table="transactions").set(status["transactions"])
+        rows.labels(table="logs").set(status["logs"])
+        reg.counter("repro_analytics_rollbacks_total",
+                    "Reorg rollbacks applied to the analytics replica."
+                    ).child.set_total(status["rollbacks"])
+        reg.counter("repro_analytics_queries_total",
+                    "Queries served from the analytics replica."
+                    ).child.set_total(status["queries"])
+
+    registry.register_collector(collect)
+
+
 def register_loadgen(registry: MetricsRegistry,
                      sample: Callable[[], dict]) -> None:
     """Sample a load generator's saturation view.

@@ -134,6 +134,11 @@ class Observability:
         """Hook a load generator's saturation sampler."""
         adapters.register_loadgen(self.registry, sample)
 
+    def instrument_analytics(self, feeder: Any) -> None:
+        """Hook an analytics feeder's freshness gauges and rollback events."""
+        feeder.obs = self
+        adapters.register_analytics(self.registry, feeder)
+
     # -- reporting ----------------------------------------------------------
 
     def cache_stats(self) -> Dict[str, Any]:

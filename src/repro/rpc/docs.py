@@ -34,6 +34,10 @@ batches); `eth_*` quantities are hex strings; errors use the codes listed in
 """
 
 _NAMESPACE_BLURBS = {
+    "analytics": "The columnar HTAP replica (`repro.analytics`): freshness "
+                 "status, replica-served log queries and pre-aggregated "
+                 "rollups/leaderboards (mounted only when a replica is "
+                 "attached).",
     "eth": "Chain access over `EthereumNode` -- the MetaMask/web3-to-node seam.",
     "evm": "Dev-chain extensions (explicit mining), as on Anvil/Hardhat.",
     "ipfs": "Content-addressed storage over `IpfsNode`/`Swarm` "
@@ -52,9 +56,10 @@ def build_reference_gateway() -> Any:
     """A gateway with every namespace mounted (the documented surface).
 
     Mirrors what ``build_environment`` wires at runtime: a chain node, an
-    IPFS swarm with one registered daemon, a buyer backend and a storage
-    engine.
+    IPFS swarm with one registered daemon, a buyer backend, a storage
+    engine and an analytics replica over the engine's WAL.
     """
+    from repro.analytics import attach_analytics
     from repro.chain.keys import KeyPair
     from repro.chain.node import EthereumNode
     from repro.contracts.registry import default_registry
@@ -77,6 +82,7 @@ def build_reference_gateway() -> Any:
     gateway.serve_backend(BuyerBackend(wallet=wallet, ipfs=ipfs, test_dataset=dataset))
     gateway.attach_storage(engine)
     gateway.attach_obs(Observability(clock=node.chain.clock))
+    gateway.attach_analytics(attach_analytics(node.chain))
     return gateway
 
 

@@ -23,6 +23,7 @@ from repro.ipfs.node import IpfsNode
 from repro.ipfs.swarm import Swarm
 from repro.rpc.middleware import RequestMetrics
 from repro.rpc.namespaces import (
+    AnalyticsNamespace,
     EthNamespace,
     IpfsNamespace,
     ObsNamespace,
@@ -88,6 +89,9 @@ class JsonRpcGateway:
         #: Optional observability facade (``repro.obs``); mounted lazily via
         #: :meth:`attach_obs`, ``None`` by default.
         self.obs: Optional[Any] = None
+        #: Optional analytics replica feeder (``repro.analytics``); mounted
+        #: lazily via :meth:`attach_analytics`, ``None`` by default.
+        self.analytics: Optional[Any] = None
         if node is not None:
             self.serve_node(node)
         if swarm is not None:
@@ -159,6 +163,18 @@ class JsonRpcGateway:
         if self.storage is not None:
             obs.instrument_storage(self.storage)
         self.register_namespace(ObsNamespace(obs).methods())
+        return self
+
+    def attach_analytics(self, feeder: Any) -> "JsonRpcGateway":
+        """Mount an analytics replica feeder under ``analytics_*``.
+
+        The feeder keeps serving the transparently routed reads
+        (``eth_getLogs`` through the chain); this additionally exposes the
+        replica's own surface -- freshness status, explicit columnar
+        queries and the pre-aggregated rollups/leaderboards.
+        """
+        self.analytics = feeder
+        self.register_namespace(AnalyticsNamespace(feeder).methods())
         return self
 
     def methods(self) -> List[str]:

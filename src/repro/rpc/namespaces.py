@@ -431,6 +431,79 @@ class Oflw3Namespace:
         }
 
 
+class AnalyticsNamespace:
+    """``analytics_*`` methods over one :class:`repro.analytics.AnalyticsFeeder`.
+
+    Mounted by :meth:`JsonRpcGateway.attach_analytics`; every handler
+    answers from the columnar replica (draining the WAL first, so results
+    are read-your-writes fresh) -- the HTAP read side of the stack.
+    ``analytics_query`` takes the same criteria object as ``eth_getLogs``
+    and is parity-identical to it at equal chain height.
+    """
+
+    def __init__(self, feeder: Any) -> None:
+        self.feeder = feeder
+
+    def status(self) -> Dict[str, Any]:
+        """Replica freshness (``applied_seq``, lag) and per-table row counts."""
+        self.feeder.drain()
+        return self.feeder.status()
+
+    def query(self, criteria: Optional[Dict[str, Any]] = None) -> Any:
+        """Log query served from the replica columns (``eth_getLogs`` shape).
+
+        With ``limit``/``cursor`` in the criteria it pages with the same
+        cursor semantics as the scan path; otherwise it returns the full
+        match list.
+        """
+        criteria = dict(criteria or {})
+        limit = criteria.pop("limit", None)
+        cursor = criteria.pop("cursor", None)
+        log_filter = _log_filter_from_params(criteria)
+        if limit is None and cursor is None:
+            return [log.to_dict() for log in self.feeder.logs(log_filter)]
+        try:
+            page = self.feeder.logs_page(
+                log_filter, limit=int(limit) if limit is not None else None,
+                cursor=cursor,
+            )
+        except (TypeError, ValueError) as exc:
+            raise JsonRpcError(INVALID_PARAMS, str(exc)) from None
+        return page.to_dict()
+
+    def leaderboard(self, name: str = "payments", limit: int = 10) -> Any:
+        """A marketplace leaderboard (payments / submissions / fees)."""
+        from repro.errors import AnalyticsError
+
+        try:
+            return self.feeder.leaderboard(name, int(limit))
+        except (AnalyticsError, ValueError) as exc:
+            raise JsonRpcError(INVALID_PARAMS, str(exc)) from None
+
+    def fee_summary(self) -> Dict[str, Any]:
+        """Fee/gas statistics by transaction kind, from the rollup."""
+        return self.feeder.fee_summary_by_kind()
+
+    def chain_statistics(self) -> Dict[str, Any]:
+        """Whole-chain totals from the pre-aggregated columns."""
+        return self.feeder.chain_statistics()
+
+    def series(self, event: str) -> List[Dict[str, Any]]:
+        """The (block, args) time series of one event name."""
+        return self.feeder.series(event)
+
+    def methods(self) -> MethodTable:
+        """The method table this namespace contributes."""
+        return {
+            "analytics_status": self.status,
+            "analytics_query": self.query,
+            "analytics_leaderboard": self.leaderboard,
+            "analytics_feeSummary": self.fee_summary,
+            "analytics_chainStatistics": self.chain_statistics,
+            "analytics_series": self.series,
+        }
+
+
 class ObsNamespace:
     """``obs_*`` methods over one :class:`repro.obs.Observability` instance.
 

@@ -95,6 +95,12 @@ class ScenarioReport:
     #: when the run had observability enabled; ``None`` -- the default --
     #: keeps saved reports byte-identical to pre-obs runs.
     obs_stats: Optional[Dict[str, Any]] = None
+    #: Columnar analytics replica metrics (``repro.analytics``) when the
+    #: spec attached one: background query counts, the feeder's freshness
+    #: status and an end-of-run replica-vs-OLTP parity check.  ``None`` --
+    #: the default -- keeps saved reports byte-identical to pre-analytics
+    #: runs.
+    analytics_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -160,6 +166,8 @@ class ScenarioReport:
         # identical to reports from before the key existed.
         if self.obs_stats is not None:
             payload["obs"] = self.obs_stats
+        if self.analytics_stats is not None:
+            payload["analytics"] = self.analytics_stats
         return payload
 
     # -- rendering ---------------------------------------------------------------
@@ -232,6 +240,15 @@ class ScenarioReport:
                 f"obs:        {self.obs_stats.get('spans_total', 0)} spans over "
                 f"{self.obs_stats.get('traces_total', 0)} traces, "
                 f"{self.obs_stats.get('events_total', 0)} structured events")
+        if self.analytics_stats is not None:
+            status = self.analytics_stats.get("status", {})
+            lines.append(
+                f"analytics:  {self.analytics_stats.get('queries_total', 0)} "
+                f"replica queries (height {status.get('height', 0)}, "
+                f"lag {status.get('lag_entries', 0)}, "
+                f"{status.get('rollbacks', 0)} rollback(s)), "
+                f"parity="
+                f"{'ok' if self.analytics_stats.get('parity_ok') else 'FAILED'}")
         if self.rpc_stats is not None:
             top = ", ".join(
                 f"{method} x{count}"

@@ -91,6 +91,11 @@ class _TaskRuntime:
 class ScenarioRunner:
     """Executes one :class:`ScenarioSpec` and produces a :class:`ScenarioReport`."""
 
+    #: The rotation of analytical reads the background analytics process
+    #: issues against the replica (one kind per tick, round-robin).
+    _ANALYTICS_QUERY_KINDS = ("logs", "leaderboard", "fee_summary",
+                              "chain_statistics", "series")
+
     def __init__(
         self,
         scenario: Union[ScenarioSpec, str],
@@ -175,6 +180,28 @@ class ScenarioRunner:
             else:
                 self.obs.instrument_node(self.node)
             self.gateway.attach_obs(self.obs)
+
+        # Analytics scenarios attach a columnar replica (``repro.analytics``)
+        # over the shared WAL: on a cluster it lives on a follower (the HTAP
+        # pattern -- ingest stays on the leader), single-node runs attach it
+        # to the one chain.  Mounting the feeder on the gateway additionally
+        # serves the ``analytics_*`` namespace to every client, including
+        # the background load generator's ``analytics`` ops.
+        self.analytics_replica = None
+        self._analytics_counts: Dict[str, int] = {}
+        if self.spec.analytics is not None:
+            if self.cluster is not None:
+                feeder = self.cluster.attach_follower_analytics()
+                self.analytics_replica = next(
+                    replica for replica in self.cluster.replicas
+                    if replica.analytics_enabled)
+            else:
+                from repro.analytics import attach_analytics
+
+                feeder = attach_analytics(self.node.chain, obs=self.obs)
+            self.gateway.attach_analytics(feeder)
+            self._analytics_counts = {
+                kind: 0 for kind in self._ANALYTICS_QUERY_KINDS}
 
         self.tasks: List[_TaskRuntime] = []
         self._active_tasks = 0
@@ -390,6 +417,83 @@ class ScenarioRunner:
             f"{victim.name} (recoveries={victim.recoveries}, "
             f"resyncs={victim.resyncs})")
 
+    def _analytics_chain(self):
+        """The chain whose analytics replica this scenario queries."""
+        if self.analytics_replica is not None:
+            return self.analytics_replica.chain
+        return self.node.chain
+
+    def _analytics_process(self) -> Generator:
+        """Issue analytical reads against the replica on a fixed cadence.
+
+        One query kind per tick, round-robin over logs, leaderboards and the
+        pre-aggregated rollups -- the sustained analytical read pressure an
+        explorer frontend or reporting job would generate, running while
+        ingest is live so freshness (drain-on-read) is actually exercised.
+        """
+        interval = float(self.spec.analytics.get("interval_seconds", 15.0))
+        tick = 0
+        while self._active_tasks > 0:
+            yield interval
+            feeder = self._analytics_chain().analytics
+            if feeder is None:  # analytics follower currently crashed
+                continue
+            kind = self._ANALYTICS_QUERY_KINDS[
+                tick % len(self._ANALYTICS_QUERY_KINDS)]
+            tick += 1
+            self._run_analytics_query(feeder, kind)
+
+    def _run_analytics_query(self, feeder: Any, kind: str) -> None:
+        """Fire one analytical read of ``kind`` and count it for the report."""
+        from repro.analytics import LEADERBOARDS, PAYMENT_EVENT, SUBMISSION_EVENT
+        from repro.chain.events import LogFilter
+
+        if kind == "logs":
+            feeder.logs(LogFilter(event_name=PAYMENT_EVENT))
+        elif kind == "leaderboard":
+            feeder.leaderboard(LEADERBOARDS[0], limit=10)
+        elif kind == "fee_summary":
+            feeder.fee_summary_by_kind()
+        elif kind == "chain_statistics":
+            feeder.chain_statistics()
+        else:
+            feeder.series(SUBMISSION_EVENT)
+        self._analytics_counts[kind] = self._analytics_counts.get(kind, 0) + 1
+
+    def _analytics_stats(self) -> Dict[str, Any]:
+        """End-of-run replica metrics plus a replica-vs-OLTP parity check.
+
+        The parity check temporarily detaches the feeder so the same calls
+        run through the seed's scan path on the same chain, then compares
+        byte-identical structures -- the report-level version of the parity
+        property test.
+        """
+        from repro.analytics import scan_leaderboard
+        from repro.chain.explorer import Explorer
+        from repro.chain.events import LogFilter
+
+        chain = self._analytics_chain()
+        feeder = chain.analytics
+        replica_logs = [log.to_dict() for log in feeder.logs(LogFilter())]
+        replica_lead = feeder.leaderboard("payments", limit=10)
+        replica_fees = feeder.fee_summary_by_kind()
+        chain.analytics = None
+        try:
+            scan_logs = [log.to_dict() for log in chain.logs(LogFilter())]
+            scan_lead = scan_leaderboard(chain, "payments", limit=10)
+            scan_fees = Explorer(chain).fee_summary_by_kind()
+        finally:
+            chain.analytics = feeder
+        parity_ok = (replica_logs == scan_logs
+                     and replica_lead == scan_lead
+                     and replica_fees == scan_fees)
+        return {
+            "queries_total": sum(self._analytics_counts.values()),
+            "queries_by_kind": dict(self._analytics_counts),
+            "status": feeder.status(),
+            "parity_ok": parity_ok,
+        }
+
     def _restart_node(self) -> None:
         """Abruptly drop the chain node and rebuild it from durable storage.
 
@@ -426,6 +530,17 @@ class ScenarioRunner:
             # The chain object changed; re-point the hooks at the live one.
             self.obs.instrument_node(recovered)
             self.obs.event("node.restart", height=recovered.chain.height)
+        old_feeder = dead.chain.analytics
+        if old_feeder is not None:
+            # The replica died with the node's process memory; a fresh
+            # feeder backfills from the recovered WAL + archive, and the
+            # lifetime counters carry over like the mempool's do.
+            from repro.analytics import attach_analytics
+
+            feeder = attach_analytics(recovered.chain, obs=self.obs)
+            feeder.queries = old_feeder.queries
+            feeder.rollbacks += old_feeder.rollbacks
+            self.gateway.attach_analytics(feeder)
 
     def _block_producer(self) -> Generator:
         """Mine on the slot cadence while any task is still active."""
@@ -549,6 +664,9 @@ class ScenarioRunner:
             if self.spec.leader_crash_at_seconds is not None:
                 self.scheduler.spawn(self._cluster_leader_crash_process(),
                                      name="chaos-leader-crash")
+            if self.spec.analytics is not None:
+                self.scheduler.spawn(self._analytics_process(),
+                                     name="analytics-reads")
             if self.spec.background_load is not None:
                 self._install_background_load()
             self.scheduler.run(max_events=max_events)
@@ -615,6 +733,8 @@ class ScenarioRunner:
                         if self._loadgen is not None else None),
             cluster_stats=cluster_stats,
             obs_stats=(self.obs.stats_dict() if self.obs is not None else None),
+            analytics_stats=(self._analytics_stats()
+                             if self.spec.analytics is not None else None),
         )
 
     # -- results access ----------------------------------------------------------

@@ -23,6 +23,10 @@ rpc_storm  concurrent tasks whose every chain/IPFS call crosses one shared,
 flashcrowd two tasks while skewed background traffic (``repro.loadgen``)
            spikes to 10x its base rate mid-run -- a flash crowd at the
            shared gateway
+analytics_storm heavy analytical reads (logs, leaderboards, fee rollups) are
+           served from a columnar replica (``repro.analytics``) while a
+           flash crowd keeps ingest busy; the report carries a replica-vs-
+           OLTP parity check
 soak       three staggered tasks under steady Poisson background load for
            a long sustained run
 lossy      one task on a congested WAN (latency, jitter, 15% drops)
@@ -135,6 +139,18 @@ class ScenarioSpec:
     """Simulated time at which the crashed leader recovers from its WAL and
     catches back up via gossip."""
 
+    analytics: Optional[Dict[str, Any]] = None
+    """Attach a columnar analytics replica (``repro.analytics``) to the run:
+    a WAL-tailing feeder serves logs, explorer pages and rollups while a
+    background process issues analytical reads on a fixed cadence.  The dict
+    holds the knobs (currently just ``interval_seconds``, the read cadence,
+    default 15.0).  On a cluster the replica attaches to a follower (the
+    HTAP pattern); single-node runs attach it to the one chain.  ``None`` --
+    the seed-exact default -- attaches nothing, keeping every query on the
+    OLTP scan path.  The report carries the replica's freshness status,
+    query counts and an end-of-run OLTP-parity check under
+    ``analytics_stats``."""
+
     def __post_init__(self) -> None:
         if self.num_tasks <= 0:
             raise SimulationError(f"num_tasks must be positive, got {self.num_tasks}")
@@ -160,6 +176,20 @@ class ScenarioSpec:
             raise SimulationError(
                 "background_load must be a dict of LoadGenConfig overrides, "
                 f"got {type(self.background_load).__name__}")
+        if self.analytics is not None:
+            if not isinstance(self.analytics, dict):
+                raise SimulationError(
+                    "analytics must be a dict of replica knobs, "
+                    f"got {type(self.analytics).__name__}")
+            unknown = sorted(set(self.analytics) - {"interval_seconds"})
+            if unknown:
+                raise SimulationError(
+                    f"unknown analytics knobs {unknown}; valid keys are "
+                    f"['interval_seconds']")
+            interval = self.analytics.get("interval_seconds", 15.0)
+            if not isinstance(interval, (int, float)) or interval <= 0:
+                raise SimulationError(
+                    f"analytics interval_seconds must be positive, got {interval!r}")
         if self.cluster is not None and self.cluster < 2:
             raise SimulationError(
                 f"a cluster scenario needs at least 2 replicas, got {self.cluster}")
@@ -217,7 +247,8 @@ class ScenarioSpec:
                 and self.rpc_rate_limit is None
                 and self.node_restart_at_seconds is None
                 and self.background_load is None
-                and self.cluster is None)
+                and self.cluster is None
+                and self.analytics is None)
 
     def with_overrides(self, **kwargs) -> "ScenarioSpec":
         """A copy of this spec with the given fields replaced."""
@@ -225,7 +256,7 @@ class ScenarioSpec:
 
     def to_dict(self) -> dict:
         """JSON-friendly form (embedded verbatim in scenario reports)."""
-        return {
+        payload = {
             "name": self.name,
             "description": self.description,
             "num_tasks": self.num_tasks,
@@ -247,6 +278,12 @@ class ScenarioSpec:
             "leader_crash_at_seconds": self.leader_crash_at_seconds,
             "leader_recover_at_seconds": self.leader_recover_at_seconds,
         }
+        # Conditional on purpose (the obs_stats pattern): every key above is
+        # always present, so specs saved without an analytics replica stay
+        # byte-for-byte identical to specs from before the key existed.
+        if self.analytics is not None:
+            payload["analytics"] = dict(self.analytics)
+        return payload
 
 
 SCENARIOS: Dict[str, ScenarioSpec] = {
@@ -300,6 +337,25 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             "arrival": "flashcrowd",
             "duration_seconds": 360.0,
             "mix": {"read": 0.6, "transfer": 0.25, "ipfs": 0.15},
+        },
+    ),
+    "analytics_storm": ScenarioSpec(
+        name="analytics_storm",
+        description="heavy analytical reads hammer the columnar replica "
+                    "(repro.analytics) while a flash crowd keeps ingest "
+                    "busy: logs, leaderboards and rollups served from the "
+                    "replica must stay byte-identical to OLTP scans",
+        num_tasks=2,
+        task_stagger_seconds=60.0,
+        async_submissions=True,
+        analytics={"interval_seconds": 5.0},
+        background_load={
+            "clients": 150,
+            "rate": 6.0,
+            "arrival": "flashcrowd",
+            "duration_seconds": 300.0,
+            "mix": {"read": 0.3, "transfer": 0.3, "ipfs": 0.1,
+                    "analytics": 0.3},
         },
     ),
     "soak": ScenarioSpec(

@@ -51,6 +51,10 @@ class WriteAheadLog:
     def __init__(self, backend: Any, topic: str = "chain") -> None:
         self.backend = backend
         self.topic = topic
+        #: Compaction epoch: bumped by every :meth:`compact` so tailing
+        #: readers (the analytics feeder) know entries may have moved into
+        #: the block archive since their last read and can reconcile.
+        self.compactions = 0
 
     # -- writing ---------------------------------------------------------------
 
@@ -133,6 +137,7 @@ class WriteAheadLog:
                 retained_pending += 1
         dropped = self.backend.truncate(self.topic, upto_seq, keep_seqs=keep_seqs)
         self.backend.sync()
+        self.compactions += 1
         return {
             "archived_blocks": archived,
             "dropped": dropped,

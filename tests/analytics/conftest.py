@@ -1,0 +1,63 @@
+"""Shared fixtures for the analytics-replica tests.
+
+Every fixture builds its chain over an in-memory :class:`StorageEngine` so
+the WAL -- the feeder's change stream -- exists, and drives a miniature
+marketplace (FLTask deployment, registrations, CID uploads, payments, plus
+plain transfers) so every transaction kind, event name and rollup has data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.contracts import default_registry
+from repro.storage.engine import StorageEngine
+from repro.utils.units import ether_to_wei, gwei_to_wei
+
+GAS_PRICE = gwei_to_wei(1)
+
+
+def build_marketplace_node(num_owners: int = 3, label: str = "an"):
+    """A node over a fresh in-memory engine with a full marketplace history.
+
+    Returns ``(node, engine)``; the chain holds a deployment, per-owner
+    ``registerOwner``/``uploadCid`` calls, per-owner ``payOwner`` payments
+    and one plain transfer -- every kind and event the columns index.
+    """
+    engine = StorageEngine()
+    node = EthereumNode(backend=default_registry(), storage=engine)
+    faucet = Faucet(node)
+    buyer = KeyPair.from_label(f"{label}-buyer")
+    faucet.drip(buyer.address, ether_to_wei(2))
+    spec = {"task": "digit-classification", "model": [784, 100, 10],
+            "max_owners": num_owners}
+    deploy = node.wait_for_receipt(
+        node.deploy_contract(buyer, "FLTask", [spec],
+                             value=ether_to_wei("0.01"), gas_price=GAS_PRICE))
+    task = deploy.contract_address
+    owners = [KeyPair.from_label(f"{label}-owner-{index}")
+              for index in range(num_owners)]
+    for index, keys in enumerate(owners):
+        faucet.drip(keys.address, ether_to_wei("0.05"))
+        node.wait_for_receipt(
+            node.transact_contract(keys, task, "registerOwner", [],
+                                   gas_price=GAS_PRICE))
+        node.wait_for_receipt(
+            node.transact_contract(keys, task, "uploadCid", [f"Qm{index:044d}"],
+                                   gas_price=GAS_PRICE))
+        node.wait_for_receipt(
+            node.transact_contract(buyer, task, "payOwner",
+                                   [keys.address,
+                                    ether_to_wei("0.01") // num_owners],
+                                   gas_price=GAS_PRICE))
+    node.wait_for_receipt(
+        node.sign_and_send(buyer, owners[0].address, value=123,
+                           gas_limit=21_000, gas_price=GAS_PRICE))
+    return node, engine
+
+
+@pytest.fixture()
+def marketplace_node():
+    """``(node, engine)`` with the standard three-owner marketplace history."""
+    return build_marketplace_node()

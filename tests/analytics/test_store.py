@@ -1,0 +1,320 @@
+"""Tests for repro.analytics.store: columns, indexes, rollups, parity."""
+
+import pytest
+
+from repro.analytics import (
+    LEADERBOARDS,
+    PAYMENT_EVENT,
+    SUBMISSION_EVENT,
+    AnalyticsStore,
+    scan_leaderboard,
+)
+from repro.chain import KeyPair
+from repro.chain.events import LogFilter
+from repro.chain.explorer import Explorer
+from repro.errors import AnalyticsError
+
+
+def replicate(chain) -> AnalyticsStore:
+    """Apply every non-genesis block of ``chain`` to a fresh store."""
+    store = AnalyticsStore()
+    for block in chain.iter_blocks():
+        if block.number == 0:
+            continue
+        store.apply_block(block)
+    return store
+
+
+@pytest.fixture()
+def replicated(marketplace_node):
+    node, _ = marketplace_node
+    return node.chain, replicate(node.chain)
+
+
+class TestChangePropagation:
+    def test_height_tracks_the_chain(self, replicated):
+        chain, store = replicated
+        assert store.height == chain.height
+        assert store.record_count == sum(
+            len(block.transactions) for block in chain.iter_blocks())
+        assert store.log_count == chain.log_count
+
+    def test_out_of_order_block_rejected(self, replicated):
+        chain, store = replicated
+        with pytest.raises(AnalyticsError, match="must arrive in order"):
+            store.apply_block(chain.get_block(1))
+
+    def test_gap_rejected_on_fresh_store(self, marketplace_node):
+        node, _ = marketplace_node
+        store = AnalyticsStore()
+        with pytest.raises(AnalyticsError, match="must arrive in order"):
+            store.apply_block(node.chain.get_block(2))
+
+    def test_block_hash_at(self, replicated):
+        chain, store = replicated
+        assert store.block_hash_at(1) == chain.get_block(1).hash
+        assert store.block_hash_at(0) is None
+        assert store.block_hash_at(store.height + 1) is None
+
+
+class TestLogParity:
+    FILTERS = [
+        None,
+        LogFilter(),
+        LogFilter(event_name=PAYMENT_EVENT),
+        LogFilter(event_name=SUBMISSION_EVENT),
+        LogFilter(event_name="NoSuchEvent"),
+        LogFilter(from_block=3),
+        LogFilter(from_block=2, to_block=5),
+        LogFilter(to_block=0),
+    ]
+
+    @pytest.mark.parametrize("log_filter", FILTERS)
+    def test_logs_match_the_scan_path(self, replicated, log_filter):
+        chain, store = replicated
+        assert store.logs(log_filter) == chain.logs(log_filter)
+
+    def test_address_filter_matches_the_scan_path(self, replicated):
+        chain, store = replicated
+        address = chain.logs()[0].address
+        log_filter = LogFilter(address=address)
+        assert store.logs(log_filter) == chain.logs(log_filter)
+
+    def test_arg_filter_matches_the_scan_path(self, replicated):
+        chain, store = replicated
+        sample = chain.logs(LogFilter(event_name=PAYMENT_EVENT))[0]
+        owner = sample.args["owner"]
+        log_filter = LogFilter(event_name=PAYMENT_EVENT,
+                               arg_filters={"owner": owner})
+        assert store.logs(log_filter) == chain.logs(log_filter)
+
+    @pytest.mark.parametrize("limit", [1, 2, 3, 100])
+    def test_full_cursor_walk_is_byte_identical(self, replicated, limit):
+        chain, store = replicated
+        log_filter = LogFilter(event_name=SUBMISSION_EVENT)
+        cursor = None
+        for _ in range(100):
+            scan = chain.logs_page(log_filter, limit=limit, cursor=cursor)
+            replica = store.logs_page(log_filter, limit=limit, cursor=cursor)
+            assert replica.logs == scan.logs
+            assert replica.next_cursor == scan.next_cursor
+            cursor = scan.next_cursor
+            if cursor is None:
+                break
+        assert cursor is None
+
+    def test_full_page_always_carries_a_cursor(self, replicated):
+        _, store = replicated
+        page = store.logs_page(limit=store.log_count)
+        assert len(page) == store.log_count
+        assert page.next_cursor is not None
+        assert len(store.logs_page(cursor=page.next_cursor)) == 0
+
+    def test_non_positive_limit_rejected(self, replicated):
+        chain, store = replicated
+        with pytest.raises(ValueError, match="limit must be positive"):
+            store.logs_page(limit=0)
+
+    def test_malformed_cursor_rejected_like_the_chain(self, replicated):
+        chain, store = replicated
+        for cursor in ("nope", "-1"):
+            with pytest.raises(ValueError) as scan_error:
+                chain.logs_page(cursor=cursor)
+            with pytest.raises(ValueError) as replica_error:
+                store.logs_page(cursor=cursor)
+            assert str(replica_error.value) == str(scan_error.value)
+
+
+class TestRecordParity:
+    def test_record_lookup_by_hash(self, replicated):
+        chain, store = replicated
+        explorer = Explorer(chain)
+        for record in explorer.all_records():
+            hit = store.record(record.transaction.hash_hex)
+            assert hit is not None
+            assert hit.transaction.hash_hex == record.transaction.hash_hex
+        assert store.record("0x" + "ab" * 32) is None
+
+    def test_transactions_of_matches_the_explorer(self, replicated):
+        chain, store = replicated
+        explorer = Explorer(chain)
+        buyer = KeyPair.from_label("an-buyer").address
+        scan = explorer.transactions_of(buyer)
+        replica = store.transactions_of(buyer)
+        assert [r.transaction.hash_hex for r in replica] == \
+            [r.transaction.hash_hex for r in scan]
+        assert store.transactions_of("0x" + "99" * 20) == []
+
+    @pytest.mark.parametrize("limit", [1, 3, 50])
+    def test_records_page_cursor_walk_matches_the_explorer(self, replicated,
+                                                           limit):
+        chain, store = replicated
+        explorer = Explorer(chain)
+        cursor = None
+        for _ in range(100):
+            scan_page, scan_cursor = explorer.records_page(
+                limit=limit, cursor=cursor)
+            replica_page, replica_cursor = store.records_page(
+                limit=limit, cursor=cursor)
+            assert [r.transaction.hash_hex for r in replica_page] == \
+                [r.transaction.hash_hex for r in scan_page]
+            assert replica_cursor == scan_cursor
+            cursor = scan_cursor
+            if cursor is None:
+                break
+        assert cursor is None
+
+    def test_records_page_by_address_matches_the_explorer(self, replicated):
+        chain, store = replicated
+        explorer = Explorer(chain)
+        buyer = KeyPair.from_label("an-buyer").address
+        scan_page, scan_cursor = explorer.records_page(address=buyer, limit=2)
+        replica_page, replica_cursor = store.records_page(buyer, limit=2)
+        assert [r.transaction.hash_hex for r in replica_page] == \
+            [r.transaction.hash_hex for r in scan_page]
+        assert replica_cursor == scan_cursor
+
+    def test_records_page_limit_validation(self, replicated):
+        _, store = replicated
+        with pytest.raises(ValueError, match="limit must be positive"):
+            store.records_page(limit=0)
+
+
+class TestRollups:
+    def test_fee_summary_matches_the_explorer(self, replicated):
+        chain, store = replicated
+        assert store.fee_summary_by_kind() == Explorer(chain).fee_summary_by_kind()
+
+    def test_chain_statistics_match_the_explorer(self, replicated):
+        chain, store = replicated
+        assert store.chain_statistics() == Explorer(chain).chain_statistics()
+
+    def test_account_columns_match_account_activity(self, replicated):
+        chain, store = replicated
+        explorer = Explorer(chain)
+        for label in ("an-buyer", "an-owner-0", "an-owner-2"):
+            address = KeyPair.from_label(label).address
+            activity = explorer.account_activity(address)
+            columns = store.account_columns(address)
+            assert columns == {key: activity[key] for key in columns}
+
+    def test_account_columns_for_unknown_address_are_zero(self, replicated):
+        _, store = replicated
+        assert store.account_columns("0x" + "77" * 20) == {
+            "transactions_sent": 0, "transactions_received": 0,
+            "total_fees_paid_wei": 0, "total_value_received_wei": 0}
+
+
+class TestLeaderboards:
+    def test_payments_leaderboard_ranks_all_owners(self, replicated):
+        _, store = replicated
+        rows = store.leaderboard("payments")
+        assert len(rows) == 3
+        assert all(row["payments"] == 1 for row in rows)
+        totals = [row["total_wei"] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_submissions_leaderboard(self, replicated):
+        _, store = replicated
+        rows = store.leaderboard("submissions")
+        assert len(rows) == 3
+        assert all(row["submissions"] == 1 for row in rows)
+        # Equal counts: ties break on ascending address.
+        addresses = [row["address"] for row in rows]
+        assert addresses == sorted(addresses)
+
+    def test_fees_leaderboard_puts_the_buyer_first(self, replicated):
+        _, store = replicated
+        rows = store.leaderboard("fees")
+        buyer = KeyPair.from_label("an-buyer").address
+        assert rows[0]["address"] == buyer
+        assert rows[0]["transactions_sent"] == 5  # deploy + 3 payments + transfer
+
+    def test_limit_truncates(self, replicated):
+        _, store = replicated
+        assert len(store.leaderboard("payments", limit=2)) == 2
+
+    def test_unknown_leaderboard_rejected(self, replicated):
+        _, store = replicated
+        with pytest.raises(AnalyticsError, match="unknown leaderboard"):
+            store.leaderboard("bogus")
+
+    def test_non_positive_limit_rejected(self, replicated):
+        _, store = replicated
+        with pytest.raises(ValueError, match="limit must be positive"):
+            store.leaderboard("payments", limit=0)
+
+    @pytest.mark.parametrize("name", LEADERBOARDS)
+    def test_scan_leaderboard_parity(self, replicated, name):
+        chain, store = replicated
+        assert store.leaderboard(name) == scan_leaderboard(chain, name)
+
+
+class TestSeries:
+    def test_submission_series_in_chain_order(self, replicated):
+        chain, store = replicated
+        series = store.series(SUBMISSION_EVENT)
+        assert len(series) == 3
+        assert [point["block_number"] for point in series] == \
+            sorted(point["block_number"] for point in series)
+        assert series[0]["args"]["cid"].startswith("Qm")
+
+    def test_payment_series_carries_amounts(self, replicated):
+        _, store = replicated
+        series = store.series(PAYMENT_EVENT)
+        assert len(series) == 3
+        assert all(int(point["args"]["amount"]) > 0 for point in series)
+
+    def test_unknown_event_series_is_empty(self, replicated):
+        _, store = replicated
+        assert store.series("NoSuchEvent") == []
+
+
+class TestRollback:
+    def test_rollback_truncates_and_rebuilds(self, replicated):
+        chain, store = replicated
+        fork = store.height // 2
+        ground_truth = AnalyticsStore()
+        for number in range(1, fork + 1):
+            ground_truth.apply_block(chain.get_block(number))
+        removed = store.rollback_to(fork)
+        assert removed["blocks"] == chain.height - fork
+        assert store.height == fork
+        assert store.logs() == ground_truth.logs()
+        assert store.fee_summary_by_kind() == ground_truth.fee_summary_by_kind()
+        assert store.chain_statistics() == ground_truth.chain_statistics()
+        assert store.leaderboard("fees") == ground_truth.leaderboard("fees")
+        # The store accepts the truncated-away blocks again, in order.
+        for number in range(fork + 1, chain.height + 1):
+            store.apply_block(chain.get_block(number))
+        assert store.logs() == chain.logs()
+
+    def test_rollback_to_zero_empties_the_store(self, replicated):
+        _, store = replicated
+        store.rollback_to(0)
+        assert store.height == 0
+        assert store.stats() == {"height": 0, "blocks": 0, "transactions": 0,
+                                 "logs": 0, "addresses": 0, "event_names": 0}
+
+    def test_noop_rollback(self, replicated):
+        _, store = replicated
+        removed = store.rollback_to(store.height)
+        assert removed == {"blocks": 0, "transactions": 0, "logs": 0}
+
+    def test_out_of_range_rollback_rejected(self, replicated):
+        _, store = replicated
+        with pytest.raises(AnalyticsError, match="cannot roll back"):
+            store.rollback_to(store.height + 1)
+        with pytest.raises(AnalyticsError, match="cannot roll back"):
+            store.rollback_to(-1)
+
+
+class TestStats:
+    def test_stats_row_counts(self, replicated):
+        chain, store = replicated
+        stats = store.stats()
+        assert stats["height"] == chain.height
+        assert stats["transactions"] == len(store.records)
+        assert stats["logs"] == chain.log_count
+        assert stats["event_names"] == len(
+            {log.name for log in chain.iter_logs()})

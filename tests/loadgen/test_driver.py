@@ -109,6 +109,24 @@ class TestOpenLoop:
         assert report.ops["ipfs"]["attempts"] > 0
         assert report.ops["ipfs"]["errors"] == 0
 
+    def test_analytics_ops_without_a_replica_become_reads(self):
+        # A standalone stack has no analytics replica attached: every drawn
+        # analytics op must be silently re-drawn as a read (the oflw3 idiom),
+        # never surface as an error or an analytics_* RPC failure.
+        config = small_config(mix={"read": 0.3, "transfer": 0.4,
+                                   "analytics": 0.3})
+        report = LoadGenerator(config).run()
+        assert "analytics" not in report.ops
+        assert report.ops["read"]["attempts"] > 0
+        assert report.errors_total == 0
+
+    def test_analytics_mix_is_deterministic(self):
+        config = small_config(mix={"read": 0.5, "analytics": 0.5},
+                              duration_seconds=40.0)
+        first = LoadGenerator(config).run()
+        second = LoadGenerator(config).run()
+        assert first.sim_dict()["ops"] == second.sim_dict()["ops"]
+
 
 class TestClosedLoop:
     def test_closed_loop_completes_and_accounts(self):
