@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Protocol
 
 from repro.errors import (
+    AbiError,
     ContractNotFoundError,
     ContractRevert,
     InsufficientFundsError,
@@ -209,6 +210,15 @@ class TransactionExecutor:
             revert_reason = str(exc)
             state.revert(snapshot_id)
         except ContractNotFoundError as exc:
+            status = False
+            revert_reason = str(exc)
+            state.revert(snapshot_id)
+        except (AbiError, InvalidTransactionError) as exc:
+            # Undecodable calldata or an argument-count mismatch surfaces
+            # *after* the fee was charged and the nonce bumped; treating it
+            # as a revert (instead of letting it escape mid-apply) keeps the
+            # no-partial-writes guarantee: the payload's state changes roll
+            # back, the fee accounting below still settles.
             status = False
             revert_reason = str(exc)
             state.revert(snapshot_id)

@@ -40,6 +40,7 @@ class EthereumNode:
         network: Optional["NetworkModel"] = None,
         storage: Optional[Any] = None,
         chain: Optional[Blockchain] = None,
+        parallel_execution: Optional[Any] = None,
     ) -> None:
         #: Optional ``repro.storage`` engine (or config) persisting this
         #: node's chain: every mint/transaction/block is write-ahead logged
@@ -68,6 +69,12 @@ class EthereumNode:
             store = self.storage.chain_store() if self.storage is not None else None
             self.chain = Blockchain(config=config, backend=backend, clock=self.clock,
                                     validators=validators, store=store)
+        #: Wave-parallel block production (``repro.parallel``): a worker
+        #: count or :class:`~repro.parallel.ParallelConfig`; ``None`` (the
+        #: seed default) keeps the serial loop.  Applied to pre-built chains
+        #: too (crash recovery re-enables it on the replayed chain).
+        if parallel_execution is not None:
+            self.chain.enable_parallel_execution(parallel_execution)
         #: Optional ``repro.simnet`` network model governing the client->node
         #: RPC link: submissions pay per-message latency (and retransmission
         #: timeouts for drops) on the simulated clock.  ``None`` (the seed

@@ -154,6 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="drive an N-replica replication cluster "
                                   "instead of one node (sweeps then measure "
                                   "replicated ingest)")
+    load_parser.add_argument("--parallel", type=int, default=None, metavar="W",
+                             help="produce blocks with W-worker wave-parallel "
+                                  "execution (repro.parallel); default: the "
+                                  "serial block loop")
     load_parser.add_argument("--seed", type=int, default=7,
                              help="deterministic seed for arrivals and skew")
     load_parser.add_argument("--sweep", default=None, metavar="RATES",
@@ -433,6 +437,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             zipf_exponent=args.zipf,
             rate_limit=args.rate_limit,
             cluster=args.cluster,
+            parallel=args.parallel,
             seed=args.seed,
             **({"mix": mix} if mix is not None else {}),
         )

@@ -96,6 +96,11 @@ class LoadGenConfig:
     caught-up replicas, and sweeps measure *replicated* ingest.  ``None`` --
     the default -- keeps the single-node stack."""
 
+    parallel: Optional[int] = None
+    """Worker count for wave-parallel block production (``repro.parallel``);
+    under a cluster the *leader* executes in waves and followers re-verify
+    serially.  ``None`` -- the default -- keeps the serial block loop."""
+
     max_events: int = 2_000_000
     receipt_timeout_polls: int = 1_000
 
@@ -126,6 +131,9 @@ class LoadGenConfig:
         if self.cluster is not None and self.cluster < 2:
             raise SimulationError(
                 f"cluster needs at least 2 replicas, got {self.cluster}")
+        if self.parallel is not None and self.parallel < 1:
+            raise SimulationError(
+                f"parallel needs at least 1 worker, got {self.parallel}")
 
     def with_overrides(self, **kwargs) -> "LoadGenConfig":
         return replace(self, **kwargs)
@@ -145,6 +153,7 @@ class LoadGenConfig:
             "seed": self.seed,
             "rate_limit": self.rate_limit,
             "cluster": self.cluster,
+            "parallel": self.parallel,
         }
 
 
@@ -193,6 +202,11 @@ class LoadGenerator:
                 "cluster is a standalone-stack knob; an attached load "
                 "generator drives the scenario's own node or cluster -- set "
                 "ScenarioSpec.cluster instead")
+        if attached and config.parallel is not None:
+            raise SimulationError(
+                "parallel is a standalone-stack knob; an attached load "
+                "generator drives the scenario's own node -- enable it there "
+                "via EthereumNode(parallel_execution=...) instead")
         self._cluster = None
         if not attached:
             clock = SimulatedClock()
@@ -202,12 +216,14 @@ class LoadGenerator:
 
                 self._cluster = ChainCluster(
                     ClusterConfig(replicas=config.cluster,
-                                  seed=derive_seed(config.seed, "cluster")),
+                                  seed=derive_seed(config.seed, "cluster"),
+                                  parallel_execution=config.parallel),
                     clock=clock, registry=default_registry())
                 node = ClusterNode(self._cluster)
             else:
                 node = EthereumNode(config=ChainConfig(),
-                                    backend=default_registry(), clock=clock)
+                                    backend=default_registry(), clock=clock,
+                                    parallel_execution=config.parallel)
             faucet = Faucet(node)
             swarm = Swarm(clock=clock)
             middleware = []
@@ -582,8 +598,19 @@ class LoadGenerator:
             mempool_max_depth=self._mempool_peak,
             rpc_stats=metrics.snapshot(include_latency=False) if metrics else None,
             obs_stats=self.obs.stats_dict() if self.obs is not None else None,
+            parallel_stats=self._parallel_stats(),
         )
         return report
+
+    def _parallel_stats(self) -> Optional[Dict[str, Any]]:
+        """Executor config + counters when the driven chain runs in waves."""
+        chain = getattr(self.node, "chain", None)
+        if chain is None or getattr(chain, "parallel", None) is None:
+            return None
+        return {
+            "config": chain.parallel.config.to_dict(),
+            "stats": chain.parallel_stats(),
+        }
 
     def run(self) -> LoadReport:
         """Standalone: install, drain the event queue, report."""
@@ -638,7 +665,8 @@ def presigned_transfers(num_txs: int, num_senders: int, label: str,
 
 def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
                       seed: int = 7,
-                      cluster: Optional[int] = None) -> Dict[str, Any]:
+                      cluster: Optional[int] = None,
+                      parallel: Optional[int] = None) -> Dict[str, Any]:
     """Wall-clock tx-ingest throughput: submit pre-signed transfers, mine all.
 
     Signing happens before the clock starts (it is client-side work); the
@@ -654,11 +682,14 @@ def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
         from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
 
         cluster_obj = ChainCluster(
-            ClusterConfig(replicas=cluster, seed=derive_seed(seed, "ingest")),
+            ClusterConfig(replicas=cluster, seed=derive_seed(seed, "ingest"),
+                          parallel_execution=parallel),
             registry=default_registry())
         node = ClusterNode(cluster_obj)
     node, transactions = presigned_transfers(num_txs, num_senders,
                                              f"ingest-{seed}", node=node)
+    if parallel is not None and cluster_obj is None:
+        node.chain.enable_parallel_execution(parallel)
     started = time.perf_counter()
     if cluster_obj is not None:
         for tx in transactions:
@@ -684,6 +715,8 @@ def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
         cluster_obj.converge()
         result["cluster"] = cluster
         result["replicated"] = cluster_obj.heads_identical()
+    if parallel is not None:
+        result["parallel"] = parallel
     return result
 
 
@@ -711,6 +744,7 @@ def run_sweep(
         points.append(SweepPoint.from_report(
             float(rate), float(rate) * transfer_weight, report))
     ingest = measure_tx_ingest(num_txs=ingest_txs, seed=config.seed,
-                               cluster=config.cluster)
+                               cluster=config.cluster,
+                               parallel=config.parallel)
     return SweepReport(points=points, ingest=ingest,
                        seed_ingest_tps=seed_ingest_tps)

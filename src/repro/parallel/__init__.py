@@ -1,0 +1,38 @@
+"""repro.parallel -- conflict-graph parallel transaction execution.
+
+Wave-parallel block production behind ``Blockchain(parallel_execution=...)``:
+a read/write-set extractor (:mod:`repro.parallel.access`), a deterministic
+wave scheduler (:mod:`repro.parallel.scheduler`), an out-of-process
+signature verify pool (:mod:`repro.parallel.verify`) and the coordinating
+executor with its serial-order commit fold
+(:mod:`repro.parallel.executor`).  Off by default; the serial path is
+bit-for-bit untouched.  See ``docs/parallel.md`` for the design and its
+equivalence guarantees.
+"""
+
+from repro.parallel.access import AccessSet, extract_access
+from repro.parallel.executor import (
+    ParallelConfig,
+    ParallelExecutor,
+    ParallelStats,
+)
+from repro.parallel.scheduler import (
+    Schedule,
+    Wave,
+    build_schedule,
+    trim_to_budget,
+)
+from repro.parallel.verify import SignatureVerifyPool
+
+__all__ = [
+    "AccessSet",
+    "extract_access",
+    "ParallelConfig",
+    "ParallelExecutor",
+    "ParallelStats",
+    "Schedule",
+    "Wave",
+    "build_schedule",
+    "trim_to_budget",
+    "SignatureVerifyPool",
+]

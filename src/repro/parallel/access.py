@@ -1,0 +1,166 @@
+"""Read/write-set extraction for intra-block parallel execution.
+
+Every transaction kind maps to an :class:`AccessSet` -- the account keys it
+may read and write -- or to the *exclusive* marker when static extraction
+cannot bound its footprint.  The rules are deliberately conservative; a
+footprint that is too wide only costs parallelism, a footprint that is too
+narrow would cost correctness:
+
+* **plain transfer** -- writes ``{sender, recipient}`` (the recipient is a
+  write even for a zero-value transfer: the executor may create the account
+  record, and treating it as a write lets the commit fold copy it back
+  without a read/write distinction at the account level);
+* **contract call** -- ``{sender}`` plus the whole contract account.  Storage
+  is not tracked slot-by-slot: the contract account *is* the write set, so
+  two calls into the same contract always conflict ("whole-contract write
+  sets").  ``view`` methods only *read* the contract, so read-only calls
+  never block each other;
+* **impure contract call** -- a method of a class whose source reaches for
+  ``transfer_out`` / ``balance_of`` / ``self_balance`` can touch arbitrary
+  balances, so the call is *exclusive*: it runs alone, directly against the
+  shared state, at its block position (a barrier wave);
+* **contract creation** -- exclusive.  Creation flips an address's
+  ``is_contract`` status mid-block, which would invalidate every footprint
+  extracted before the flip; the barrier keeps extraction sound;
+* **coinbase-touching transfer** -- exclusive.  Fee credits are folded into
+  the coinbase account wave-by-wave (their sum is order-independent), so any
+  transaction that *reads* the coinbase balance must see all earlier fees --
+  which the barrier guarantees;
+* **faucet mints** are not transactions: they happen between blocks
+  (:meth:`Blockchain.mint`) and therefore act as natural barriers -- no
+  extraction rule is needed for them.
+
+Returning ``None`` (a *hazard*) from :func:`extract_access` tells the
+planner that this block cannot be scheduled at all and must fall back to the
+serial path wholesale.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+from repro.errors import InvalidTransactionError
+from repro.chain.account import Address
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+
+#: Context attributes that let a contract method escape its own account:
+#: a class whose source mentions any of these may read or write *arbitrary*
+#: balances, so its calls are classified exclusive.
+IMPURE_MARKERS = ("transfer_out", "balance_of", "self_balance")
+
+#: Contract classes already classified, keyed by class object.
+_purity_cache: Dict[type, bool] = {}
+
+
+@dataclass(frozen=True)
+class AccessSet:
+    """The statically-extracted footprint of one transaction.
+
+    ``reads`` and ``writes`` hold lowercase account keys (the world state's
+    canonical dictionary keys).  ``exclusive`` marks a transaction that must
+    run alone against the shared state at its block position.
+    """
+
+    writes: FrozenSet[str] = frozenset()
+    reads: FrozenSet[str] = frozenset()
+    exclusive: bool = False
+
+    @property
+    def footprint(self) -> FrozenSet[str]:
+        """Every account key the transaction may touch."""
+        return self.reads | self.writes
+
+    def conflicts_with(self, other: "AccessSet") -> bool:
+        """Whether the two transactions must be ordered relative to each other."""
+        if self.exclusive or other.exclusive:
+            return True
+        if self.writes & (other.writes | other.reads):
+            return True
+        return bool(other.writes & self.reads)
+
+
+#: The footprint of an exclusive (barrier) transaction.
+EXCLUSIVE_ACCESS = AccessSet(exclusive=True)
+
+
+def contract_is_pure_storage(contract_class: type) -> bool:
+    """Whether every method of ``contract_class`` stays inside its own account.
+
+    A *pure-storage* contract only touches its own storage dictionary (plus
+    gas and event logs), so a call's write set is bounded by the contract
+    account itself.  Classification is a source scan over the class and its
+    bases for the :data:`IMPURE_MARKERS`; unreadable source (REPL-defined
+    classes, C extensions) classifies as impure -- "conservative
+    whole-chain" beats "optimistic wrong".
+    """
+    cached = _purity_cache.get(contract_class)
+    if cached is not None:
+        return cached
+    pure = True
+    for klass in contract_class.__mro__:
+        if klass is object:
+            continue
+        module = getattr(klass, "__module__", "")
+        if module == "repro.contracts.framework":
+            continue  # the framework base class is known pure
+        try:
+            source = inspect.getsource(klass)
+        except (OSError, TypeError):
+            pure = False
+            break
+        if any(marker in source for marker in IMPURE_MARKERS):
+            pure = False
+            break
+    _purity_cache[contract_class] = pure
+    return pure
+
+
+def extract_access(
+    tx: Transaction,
+    state: WorldState,
+    coinbase: Optional[Address] = None,
+) -> Optional[AccessSet]:
+    """The :class:`AccessSet` of ``tx`` against the pre-block ``state``.
+
+    Returns ``None`` (a hazard) when the transaction cannot even be
+    classified -- currently only when its destination is a contract whose
+    calldata does not decode, combined with a malformed envelope the
+    executor itself would reject; every other shape gets a (possibly
+    exclusive) access set.
+    """
+    if tx.is_create:
+        return EXCLUSIVE_ACCESS
+
+    sender_key = tx.sender.lower
+    to_key = tx.to.lower
+    if coinbase is not None:
+        coinbase_key = Address(coinbase).lower
+        if sender_key == coinbase_key or to_key == coinbase_key:
+            return EXCLUSIVE_ACCESS
+
+    destination = state.get_account(tx.to) if state.has_account(tx.to) else None
+    if destination is not None and destination.is_contract:
+        try:
+            payload = tx.decoded_payload()
+        except InvalidTransactionError:
+            # The executor reverts the call cleanly (no partial writes), so
+            # the footprint is just the two accounts the fee path touches.
+            return AccessSet(writes=frozenset((sender_key, to_key)))
+        method = payload.get("method")
+        if not method:
+            # Reverts with "call payload missing method name" before any
+            # value moves; same footprint as a failed transfer.
+            return AccessSet(writes=frozenset((sender_key, to_key)))
+        if not contract_is_pure_storage(type(destination.contract)):
+            return EXCLUSIVE_ACCESS
+        entry = destination.contract.abi().get(method)
+        if entry is not None and entry.get("view"):
+            return AccessSet(writes=frozenset((sender_key,)),
+                             reads=frozenset((to_key,)))
+        return AccessSet(writes=frozenset((sender_key, to_key)))
+
+    # Plain value transfer (or a transfer to a not-yet-contract address).
+    return AccessSet(writes=frozenset((sender_key, to_key)))

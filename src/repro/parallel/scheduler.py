@@ -1,0 +1,161 @@
+"""Conflict-graph wave scheduling for intra-block parallel execution.
+
+The scheduler turns an ordered candidate list (the mempool's fee-priority
+selection) plus the per-transaction :class:`~repro.parallel.access.AccessSet`
+footprints into a list of *waves*: batches of mutually non-conflicting
+transactions that may execute concurrently.  Assignment is the classic
+greedy list-scheduling pass **in block position order** -- each transaction
+lands in the earliest wave after every earlier transaction it conflicts
+with -- so the wave layout is a pure function of (transaction order,
+footprints).  Worker count, thread timing and pool size never influence it;
+that is the determinism guarantee the serial-equivalence harness pins.
+
+Exclusive transactions (contract creations, impure contract calls,
+coinbase-touching transfers) become solo *barrier* waves: everything before
+them commits first, everything after them starts later, which is exactly the
+ordering a serial executor gives them.
+
+The scheduler also carries the simulated capacity model: a block has a
+budget of serial-equivalent *execution slots* (the mempool's historical
+per-block transaction cap), and a wave of ``s`` transactions on ``W``
+workers costs ``ceil(s / W)`` slots.  :func:`trim_to_budget` cuts a schedule
+down to that budget, keeping a clean prefix of waves (and a position-prefix
+of the first wave that does not fit), which preserves per-sender nonce
+continuity: a dependent transaction always sits in a later wave than its
+predecessor, so trimming never orphans a nonce chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.parallel.access import AccessSet
+
+
+@dataclass
+class Wave:
+    """One execution wave: positions into the candidate list, in order."""
+
+    positions: List[int] = field(default_factory=list)
+    exclusive: bool = False
+
+    @property
+    def width(self) -> int:
+        """Number of transactions executing concurrently in this wave."""
+        return len(self.positions)
+
+    def slot_cost(self, workers: int) -> int:
+        """Serial-equivalent execution slots this wave consumes."""
+        if self.exclusive:
+            return len(self.positions)
+        return -(-len(self.positions) // max(1, workers))  # ceil division
+
+
+@dataclass
+class Schedule:
+    """The deterministic wave layout of one candidate list."""
+
+    waves: List[Wave] = field(default_factory=list)
+    n_transactions: int = 0
+
+    def slot_cost(self, workers: int) -> int:
+        """Total serial-equivalent slots at ``workers`` workers."""
+        return sum(wave.slot_cost(workers) for wave in self.waves)
+
+    @property
+    def max_width(self) -> int:
+        """Widest wave (1 for a fully serialized block)."""
+        return max((wave.width for wave in self.waves), default=0)
+
+    @property
+    def conflict_ratio(self) -> float:
+        """How serialized the block is: 0.0 fully parallel, 1.0 fully serial.
+
+        Defined as ``(waves - 1) / (transactions - 1)``: one wave for the
+        whole block scores 0.0, one wave *per transaction* scores 1.0.
+        Blocks with fewer than two transactions score 0.0 (nothing to
+        parallelize, nothing conflicting).
+        """
+        if self.n_transactions <= 1:
+            return 0.0
+        return (len(self.waves) - 1) / (self.n_transactions - 1)
+
+    def width_histogram(self) -> Dict[int, int]:
+        """Map wave width -> number of waves with that width."""
+        histogram: Dict[int, int] = {}
+        for wave in self.waves:
+            histogram[wave.width] = histogram.get(wave.width, 0) + 1
+        return histogram
+
+    def layout(self) -> List[List[int]]:
+        """The wave layout as plain position lists (for determinism pins)."""
+        return [list(wave.positions) for wave in self.waves]
+
+
+def build_schedule(accesses: Sequence[AccessSet]) -> Schedule:
+    """Greedy position-ordered wave assignment over extracted footprints.
+
+    For each transaction (in block position order) the target wave is one
+    past the latest wave holding a conflicting earlier transaction:
+    write-after-write and write-after-read both force ordering, read-after-
+    read does not.  The incremental bookkeeping (last wave that read/wrote
+    each account key) makes the pass ``O(n * footprint)`` instead of the
+    quadratic pairwise-conflict scan.
+    """
+    waves: List[Wave] = []
+    last_write: Dict[str, int] = {}
+    last_read: Dict[str, int] = {}
+    floor = 0  # first wave index usable after the latest barrier
+    for position, access in enumerate(accesses):
+        if access.exclusive:
+            waves.append(Wave(positions=[position], exclusive=True))
+            floor = len(waves)
+            continue
+        target = floor
+        for key in access.reads:
+            writer = last_write.get(key)
+            if writer is not None and writer >= target:
+                target = writer + 1
+        for key in access.writes:
+            writer = last_write.get(key)
+            if writer is not None and writer >= target:
+                target = writer + 1
+            reader = last_read.get(key)
+            if reader is not None and reader >= target:
+                target = reader + 1
+        while len(waves) <= target:
+            waves.append(Wave())
+        waves[target].positions.append(position)
+        for key in access.reads:
+            if last_read.get(key, -1) < target:
+                last_read[key] = target
+        for key in access.writes:
+            last_write[key] = target
+    return Schedule(waves=waves, n_transactions=len(accesses))
+
+
+def trim_to_budget(schedule: Schedule, budget: int, workers: int) -> List[int]:
+    """Positions (sorted) that fit in ``budget`` serial-equivalent slots.
+
+    Whole waves are kept while their cumulative :meth:`Wave.slot_cost` fits;
+    the first wave that does not fit contributes its ``remaining * workers``
+    earliest positions (the partial wave still runs within the leftover
+    slots); every later wave is dropped.  Dropping suffix waves is nonce-safe
+    because a same-sender successor always conflicts with its predecessor and
+    therefore sits in a strictly later wave -- a kept transaction never
+    depends on a dropped one.
+    """
+    kept: List[int] = []
+    remaining = budget
+    for wave in schedule.waves:
+        cost = wave.slot_cost(workers)
+        if cost <= remaining:
+            kept.extend(wave.positions)
+            remaining -= cost
+            continue
+        if not wave.exclusive and remaining > 0:
+            kept.extend(wave.positions[: remaining * max(1, workers)])
+        break
+    kept.sort()
+    return kept

@@ -28,6 +28,7 @@ from repro.rpc.namespaces import (
     IpfsNamespace,
     ObsNamespace,
     Oflw3Namespace,
+    ParallelNamespace,
 )
 from repro.rpc.protocol import (
     INTERNAL_ERROR,
@@ -114,9 +115,10 @@ class JsonRpcGateway:
             self.register(name, handler)
 
     def serve_node(self, node: EthereumNode) -> "JsonRpcGateway":
-        """Attach the chain node and expose the ``eth_*`` namespace."""
+        """Attach the chain node; exposes ``eth_*`` and ``parallel_*``."""
         self.eth = EthNamespace(node)
         self.register_namespace(self.eth.methods())
+        self.register_namespace(ParallelNamespace(node).methods())
         return self
 
     def serve_ipfs_node(self, node: IpfsNode) -> "JsonRpcGateway":

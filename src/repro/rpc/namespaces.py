@@ -504,6 +504,41 @@ class AnalyticsNamespace:
         }
 
 
+class ParallelNamespace:
+    """``parallel_*`` methods over one node's chain (``repro.parallel``).
+
+    Mounted unconditionally by :meth:`JsonRpcGateway.serve_node` -- like
+    ``eth_*`` -- so operators can always ask whether wave-parallel block
+    production is on; when it is off, ``parallel_status`` reports
+    ``enabled: false`` with all-zero counters.
+    """
+
+    def __init__(self, node: Any) -> None:
+        self.node = node
+
+    def status(self) -> Dict[str, Any]:
+        """Parallel-execution configuration and cumulative wave counters.
+
+        Reports whether wave execution is enabled, the worker configuration,
+        and the :class:`~repro.parallel.ParallelStats` counters: blocks
+        executed in waves vs serial fallbacks, wave width distribution,
+        conflict ratios and trim/verify totals.  Zeroes when disabled.
+        """
+        chain = self.node.chain
+        parallel = getattr(chain, "parallel", None)
+        payload: Dict[str, Any] = {"enabled": parallel is not None}
+        if parallel is not None:
+            payload["config"] = parallel.config.to_dict()
+        payload["stats"] = chain.parallel_stats()
+        return payload
+
+    def methods(self) -> MethodTable:
+        """The method table this namespace contributes."""
+        return {
+            "parallel_status": self.status,
+        }
+
+
 class ObsNamespace:
     """``obs_*`` methods over one :class:`repro.obs.Observability` instance.
 

@@ -14,6 +14,7 @@ so scenario reports show cache effectiveness next to request counts.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable
 
@@ -21,13 +22,21 @@ from repro.errors import StorageError
 
 
 class LRUCache:
-    """Least-recently-used cache with entry-count capacity and stats."""
+    """Least-recently-used cache with entry-count capacity and stats.
+
+    Thread-safe: the chain's address-interning cache is shared with the
+    parallel block executor's worker threads, and the check-then-act
+    sequences below (hit test + ``move_to_end``, capacity test + eviction)
+    would otherwise race.  A single lock keeps every operation atomic; the
+    cost is nanoseconds against the lookups it fronts.
+    """
 
     def __init__(self, capacity: int = 256) -> None:
         if capacity <= 0:
             raise StorageError(f"cache capacity must be positive, got {capacity}")
         self.capacity = int(capacity)
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -41,12 +50,13 @@ class LRUCache:
 
     def get(self, key: Hashable, default: Any = None) -> Any:
         """Look up ``key``, counting a hit or miss and freshening on hit."""
-        if key in self._entries:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self.misses += 1
-        return default
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self.misses += 1
+            return default
 
     def peek(self, key: Hashable, default: Any = None) -> Any:
         """Look up without touching recency or statistics (for tests/metrics)."""
@@ -54,23 +64,26 @@ class LRUCache:
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``; evicts the LRU entry when full."""
-        self.puts += 1
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._lock:
+            self.puts += 1
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
             self._entries[key] = value
-            return
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it was cached."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry (statistics are preserved)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     @property
     def hit_rate(self) -> float:

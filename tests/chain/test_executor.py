@@ -207,3 +207,64 @@ class TestStaticCallAndEstimate:
         assert estimate >= 21_000
         assert state.nonce_of(ALICE.address) == nonce_before
         assert state.balance_of(ALICE.address) == balance_before
+
+
+class TestMidApplyErrors:
+    """Calls that blow up *after* the fee debit must leave no partial writes.
+
+    ``AbiError`` (argument-count mismatch) and ``InvalidTransactionError``
+    (undecodable calldata) surface from inside the payload execution, past
+    the point where the fee was charged and the nonce bumped.  They must be
+    settled like reverts -- storage rolled back, fee kept, nonce kept --
+    never escape ``apply`` mid-block.
+    """
+
+    def deploy(self, executor, state):
+        return TestContractLifecycle().deploy(executor, state)
+
+    def call_tx(self, state, contract, data, gas_limit=300_000):
+        return Transaction(
+            sender=Address(BOB.address),
+            to=contract,
+            data=data,
+            nonce=state.nonce_of(BOB.address),
+            gas_limit=gas_limit,
+            gas_price=GAS_PRICE,
+        ).sign(BOB)
+
+    def test_argument_mismatch_settles_as_revert(self, executor, state):
+        deployment = self.deploy(executor, state)
+        nonce_before = state.nonce_of(BOB.address)
+        storage_before = dict(
+            state.get_account(deployment.contract_address).storage)
+        tx = self.call_tx(state, deployment.contract_address,
+                          encode_call("uploadCid", []))  # cid arg missing
+        receipt = executor.apply(tx, state)
+        assert not receipt.status
+        assert "argument mismatch" in receipt.revert_reason
+        assert receipt.logs == []
+        # No partial writes: contract storage untouched, nonce bumped once,
+        # only the fee left the sender.
+        assert dict(
+            state.get_account(deployment.contract_address).storage
+        ) == storage_before
+        assert state.nonce_of(BOB.address) == nonce_before + 1
+
+    def test_undecodable_calldata_settles_as_revert(self, executor, state):
+        deployment = self.deploy(executor, state)
+        balance_before = state.balance_of(BOB.address)
+        tx = self.call_tx(state, deployment.contract_address,
+                          b"\xff\xfenot-json")
+        receipt = executor.apply(tx, state)
+        assert not receipt.status
+        assert receipt.revert_reason
+        assert state.balance_of(BOB.address) == \
+            balance_before - receipt.gas_used * GAS_PRICE
+
+    def test_mismatch_on_view_method_settles_as_revert(self, executor, state):
+        deployment = self.deploy(executor, state)
+        tx = self.call_tx(state, deployment.contract_address,
+                          encode_call("cidCount", ["unexpected-arg"]))
+        receipt = executor.apply(tx, state)
+        assert not receipt.status
+        assert "argument mismatch" in receipt.revert_reason

@@ -247,3 +247,78 @@ class TestBatchedProduction:
         assert len(two_more) == 2
         assert all(not b.transactions for b in two_more)
         assert node.chain.produce_blocks() == []  # no count, no drain: no-op
+
+
+class TestSelectionEdgeCases:
+    """Backfill for ``select_for_block``'s ordering and staleness edges."""
+
+    def make_pool_with(self, *txs):
+        pool = Mempool()
+        for tx in txs:
+            pool.add(tx)
+        return pool
+
+    def test_equal_fee_ties_break_by_arrival_order(self):
+        # Same gas price everywhere: selection must follow insertion order
+        # (the arrival index is the sort tie-break), never hash order.
+        state = WorldState()
+        first = signed_transfer("tie-a", nonce=0, gas_price=3 * 10**9)
+        second = signed_transfer("tie-b", nonce=0, gas_price=3 * 10**9)
+        third = signed_transfer("tie-c", nonce=0, gas_price=3 * 10**9)
+        pool = self.make_pool_with(first, second, third)
+        selected = pool.select_for_block(state, gas_limit=30_000_000)
+        assert [t.hash_hex for t in selected] == [
+            first.hash_hex, second.hash_hex, third.hash_hex]
+        # Reversed arrival, same fee: reversed selection.
+        pool = self.make_pool_with(third, second, first)
+        selected = pool.select_for_block(state, gas_limit=30_000_000)
+        assert [t.hash_hex for t in selected] == [
+            third.hash_hex, second.hash_hex, first.hash_hex]
+
+    def test_equal_fee_tie_break_survives_higher_fee_interleaving(self):
+        state = WorldState()
+        cheap_early = signed_transfer("tie-d", nonce=0, gas_price=2 * 10**9)
+        rich = signed_transfer("tie-e", nonce=0, gas_price=9 * 10**9)
+        cheap_late = signed_transfer("tie-f", nonce=0, gas_price=2 * 10**9)
+        pool = self.make_pool_with(cheap_early, rich, cheap_late)
+        selected = pool.select_for_block(state, gas_limit=30_000_000)
+        assert [t.hash_hex for t in selected] == [
+            rich.hash_hex, cheap_early.hash_hex, cheap_late.hash_hex]
+
+    def test_stale_nonce_is_skipped_during_selection(self):
+        # The account nonce moved past a pending transaction (e.g. a
+        # competing block consumed it): selection must skip the stale tx
+        # without stalling the sender's still-valid successors.
+        state = WorldState()
+        stale = signed_transfer("stale-a", nonce=0)
+        valid = signed_transfer("stale-a", nonce=2)
+        other = signed_transfer("stale-b", nonce=0)
+        pool = self.make_pool_with(stale, valid, other)
+        state.get_account(stale.sender).nonce = 2
+        selected = pool.select_for_block(state, gas_limit=30_000_000)
+        # Equal fees, so arrival order decides: ``valid`` arrived before
+        # ``other`` and is immediately eligible (its nonce matches the
+        # account), while ``stale`` is skipped without blocking it.
+        assert [t.hash_hex for t in selected] == [
+            valid.hash_hex, other.hash_hex]
+        # Selection defers, it does not evict; the prune pass owns eviction.
+        assert stale.hash_hex in pool
+        assert pool.prune_stale(state) == 1
+        assert stale.hash_hex not in pool
+        assert valid.hash_hex in pool
+
+    def test_selection_prefix_stability(self):
+        # The parallel path's serial fallback executes the first
+        # ``slot_budget`` picks of an oversized selection; greedy selection
+        # must therefore be prefix-stable in ``max_count``.
+        state = WorldState()
+        txs = [signed_transfer(f"prefix-{i}", nonce=0,
+                               gas_price=(10 - i % 3) * 10**9)
+               for i in range(12)]
+        pool = self.make_pool_with(*txs)
+        wide = pool.select_for_block(state, gas_limit=30_000_000,
+                                     max_count=12)
+        narrow = pool.select_for_block(state, gas_limit=30_000_000,
+                                       max_count=5)
+        assert [t.hash_hex for t in wide[:5]] == \
+            [t.hash_hex for t in narrow]

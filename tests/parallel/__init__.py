@@ -1,0 +1,1 @@
+"""Tests for the corresponding repro subpackage."""

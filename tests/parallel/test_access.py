@@ -1,0 +1,224 @@
+"""Pins for the read/write-set extractor: every transaction kind classified.
+
+The extractor's rules are the soundness boundary of the whole parallel
+path -- each test nails one rule from the ``repro.parallel.access`` module
+docstring so a future widening of a footprint fails loudly here instead of
+silently corrupting state.
+"""
+
+import pytest
+
+from repro.chain.account import Address
+from repro.chain.executor import TransactionExecutor
+from repro.chain.keys import KeyPair
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction, encode_call, encode_create
+from repro.contracts.cid_storage import CidStorage
+from repro.contracts.fl_task import FLTask
+from repro.contracts.registry import default_registry
+from repro.parallel.access import (
+    AccessSet,
+    contract_is_pure_storage,
+    extract_access,
+)
+from repro.utils.units import ether_to_wei
+
+ALICE = KeyPair.from_label("alice")
+BOB = KeyPair.from_label("bob")
+MINER = KeyPair.from_label("miner")
+GAS_PRICE = 10**9
+
+
+@pytest.fixture()
+def state() -> WorldState:
+    world = WorldState()
+    world.credit(ALICE.address, ether_to_wei(5))
+    world.credit(BOB.address, ether_to_wei(5))
+    return world
+
+
+@pytest.fixture()
+def contract_state(state) -> tuple:
+    """State with a deployed CidStorage; returns (state, contract_address)."""
+    executor = TransactionExecutor(backend=default_registry())
+    tx = Transaction(
+        sender=Address(ALICE.address),
+        to=None,
+        data=encode_create("CidStorage", []),
+        nonce=0,
+        gas_limit=3_000_000,
+        gas_price=GAS_PRICE,
+    ).sign(ALICE)
+    receipt = executor.apply(tx, state)
+    assert receipt.status
+    return state, receipt.contract_address
+
+
+def transfer(sender=ALICE, to=BOB, nonce=0) -> Transaction:
+    return Transaction(
+        sender=Address(sender.address),
+        to=Address(to.address),
+        value=1,
+        nonce=nonce,
+        gas_limit=21_000,
+        gas_price=GAS_PRICE,
+    ).sign(sender)
+
+
+class TestTransferRules:
+    def test_plain_transfer_writes_both_endpoints(self, state):
+        access = extract_access(transfer(), state)
+        assert access.writes == frozenset(
+            (Address(ALICE.address).lower, Address(BOB.address).lower))
+        assert access.reads == frozenset()
+        assert not access.exclusive
+
+    def test_transfer_to_coinbase_is_exclusive(self, state):
+        access = extract_access(
+            transfer(to=MINER), state, Address(MINER.address))
+        assert access.exclusive
+
+    def test_transfer_from_coinbase_is_exclusive(self, state):
+        state.credit(MINER.address, ether_to_wei(1))
+        access = extract_access(
+            transfer(sender=MINER), state, Address(MINER.address))
+        assert access.exclusive
+
+    def test_coinbase_elsewhere_does_not_escalate(self, state):
+        access = extract_access(
+            transfer(), state, Address(MINER.address))
+        assert not access.exclusive
+
+
+class TestContractRules:
+    def test_create_is_exclusive(self, state):
+        tx = Transaction(
+            sender=Address(ALICE.address),
+            to=None,
+            data=encode_create("CidStorage", []),
+            nonce=0,
+            gas_limit=3_000_000,
+            gas_price=GAS_PRICE,
+        ).sign(ALICE)
+        assert extract_access(tx, state).exclusive
+
+    def test_mutating_call_writes_whole_contract(self, contract_state):
+        state, contract = contract_state
+        tx = Transaction(
+            sender=Address(BOB.address),
+            to=Address(contract),
+            data=encode_call("uploadCid", ["QmX"]),
+            nonce=0,
+            gas_limit=200_000,
+            gas_price=GAS_PRICE,
+        ).sign(BOB)
+        access = extract_access(tx, state)
+        assert access.writes == frozenset(
+            (Address(BOB.address).lower, Address(contract).lower))
+        assert not access.exclusive
+
+    def test_view_call_only_reads_the_contract(self, contract_state):
+        state, contract = contract_state
+        tx = Transaction(
+            sender=Address(BOB.address),
+            to=Address(contract),
+            data=encode_call("cidCount", []),
+            nonce=0,
+            gas_limit=100_000,
+            gas_price=GAS_PRICE,
+        ).sign(BOB)
+        access = extract_access(tx, state)
+        assert access.reads == frozenset((Address(contract).lower,))
+        assert access.writes == frozenset((Address(BOB.address).lower,))
+
+    def test_two_view_calls_do_not_conflict(self, contract_state):
+        state, contract = contract_state
+        def view_call(sender, nonce=0):
+            return extract_access(Transaction(
+                sender=Address(sender.address),
+                to=Address(contract),
+                data=encode_call("cidCount", []),
+                nonce=nonce,
+                gas_limit=100_000,
+                gas_price=GAS_PRICE,
+            ).sign(sender), state)
+        assert not view_call(ALICE, nonce=1).conflicts_with(view_call(BOB))
+
+    def test_undecodable_calldata_has_failed_transfer_footprint(
+            self, contract_state):
+        # The executor treats garbage calldata as a clean revert (fee
+        # charged, nonce bumped, nothing else) -- footprint is the two
+        # accounts the fee path touches, not exclusive.
+        state, contract = contract_state
+        tx = Transaction(
+            sender=Address(BOB.address),
+            to=Address(contract),
+            data=b"\xff\xfenot json",
+            nonce=0,
+            gas_limit=100_000,
+            gas_price=GAS_PRICE,
+        ).sign(BOB)
+        access = extract_access(tx, state)
+        assert access is not None
+        assert not access.exclusive
+        assert access.writes == frozenset(
+            (Address(BOB.address).lower, Address(contract).lower))
+
+
+class TestPurityClassification:
+    def test_cid_storage_is_pure_storage(self):
+        assert contract_is_pure_storage(CidStorage)
+
+    def test_fl_task_is_impure(self):
+        # FLTask pays workers via transfer_out: its calls can touch
+        # arbitrary balances, so they must run exclusively.
+        assert not contract_is_pure_storage(FLTask)
+
+    def test_impure_contract_call_is_exclusive(self, state):
+        executor = TransactionExecutor(backend=default_registry())
+        spec = {"title": "t", "description": "d", "model_cid": "Qm",
+                "dataset_cid": "Qm", "rounds": 1, "reward_per_round": 1}
+        tx = Transaction(
+            sender=Address(ALICE.address),
+            to=None,
+            value=10,
+            data=encode_create("FLTask", [spec]),
+            nonce=0,
+            gas_limit=3_000_000,
+            gas_price=GAS_PRICE,
+        ).sign(ALICE)
+        receipt = executor.apply(tx, state)
+        assert receipt.status
+        call = Transaction(
+            sender=Address(BOB.address),
+            to=Address(receipt.contract_address),
+            data=encode_call("getTaskSpec", []),
+            nonce=0,
+            gas_limit=100_000,
+            gas_price=GAS_PRICE,
+        ).sign(BOB)
+        assert extract_access(call, state).exclusive
+
+
+class TestConflictPredicate:
+    def test_write_write_conflicts(self):
+        a = AccessSet(writes=frozenset(("0xa", "0xb")))
+        b = AccessSet(writes=frozenset(("0xb", "0xc")))
+        assert a.conflicts_with(b) and b.conflicts_with(a)
+
+    def test_read_read_does_not_conflict(self):
+        a = AccessSet(reads=frozenset(("0xk",)), writes=frozenset(("0xa",)))
+        b = AccessSet(reads=frozenset(("0xk",)), writes=frozenset(("0xb",)))
+        assert not a.conflicts_with(b)
+
+    def test_read_write_conflicts_both_directions(self):
+        reader = AccessSet(reads=frozenset(("0xk",)),
+                           writes=frozenset(("0xa",)))
+        writer = AccessSet(writes=frozenset(("0xk", "0xb")))
+        assert reader.conflicts_with(writer)
+        assert writer.conflicts_with(reader)
+
+    def test_exclusive_conflicts_with_everything(self):
+        lone = AccessSet(exclusive=True)
+        assert lone.conflicts_with(AccessSet())
+        assert AccessSet().conflicts_with(lone)

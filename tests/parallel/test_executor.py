@@ -1,0 +1,276 @@
+"""ParallelExecutor unit tests: fallbacks, equivalence, and the escape net.
+
+These drive the coordinator directly (no Blockchain around it) so each
+defensive layer -- precheck, signature gate, containment check -- can be
+exercised in isolation and pinned to "no shared-state side effect before
+the fallback decision".
+"""
+
+import pytest
+
+import repro.parallel.executor as parallel_executor_module
+from repro.chain.account import Address
+from repro.chain.executor import BlockContext, TransactionExecutor
+from repro.chain.keys import KeyPair
+from repro.chain.state import WorldState
+from repro.chain.transaction import Transaction
+from repro.contracts.registry import default_registry
+from repro.parallel.access import AccessSet
+from repro.parallel.executor import ParallelConfig, ParallelExecutor
+from repro.utils.units import ether_to_wei
+
+GAS_PRICE = 10**9
+SENDERS = [KeyPair.from_label(f"par-exec-{i}") for i in range(6)]
+RECIPIENTS = [KeyPair.from_label(f"par-recv-{i}") for i in range(6)]
+MINER = KeyPair.from_label("par-miner")
+
+
+def fresh_state() -> WorldState:
+    state = WorldState()
+    for keypair in SENDERS:
+        state.credit(keypair.address, ether_to_wei(10))
+    return state
+
+
+def block_ctx() -> BlockContext:
+    return BlockContext(number=1, timestamp=1_700_000_000,
+                        coinbase=Address(MINER.address), gas_price=GAS_PRICE)
+
+
+def transfer(sender: KeyPair, to: KeyPair, nonce: int = 0,
+             value: int = 1000) -> Transaction:
+    return Transaction(
+        sender=Address(sender.address),
+        to=Address(to.address),
+        value=value,
+        nonce=nonce,
+        gas_limit=21_000,
+        gas_price=GAS_PRICE,
+    ).sign(sender)
+
+
+def mixed_block():
+    """Disjoint pairs plus one same-sender nonce chain."""
+    txs = [transfer(SENDERS[i], RECIPIENTS[i]) for i in range(4)]
+    txs.append(transfer(SENDERS[4], RECIPIENTS[4], nonce=0))
+    txs.append(transfer(SENDERS[4], RECIPIENTS[5], nonce=1))
+    return txs
+
+
+def run_serial(txs):
+    """The reference: the serial loop's effect on a fresh state."""
+    executor = TransactionExecutor(backend=default_registry())
+    state = fresh_state()
+    ctx = block_ctx()
+    receipts = []
+    for tx in txs:
+        ctx.gas_price = tx.gas_price
+        receipts.append(executor.apply(tx, state, ctx))
+    return state, receipts
+
+
+def make_parallel(workers: int = 4, **overrides) -> ParallelExecutor:
+    executor = TransactionExecutor(backend=default_registry())
+    config = ParallelConfig(workers=workers, **overrides)
+    return ParallelExecutor(executor, config=config)
+
+
+@pytest.fixture()
+def parallel():
+    coordinator = make_parallel()
+    yield coordinator
+    coordinator.close()
+
+
+class TestPlanFallbacks:
+    def test_fee_recipient_hazard_falls_back(self, parallel):
+        parallel.executor.fee_recipient = Address(MINER.address)
+        state = fresh_state()
+        assert parallel.plan(mixed_block(), state, block_ctx()) is None
+
+    def test_nonce_gap_falls_back(self, parallel):
+        txs = [transfer(SENDERS[0], RECIPIENTS[0], nonce=0),
+               transfer(SENDERS[0], RECIPIENTS[1], nonce=2)]
+        assert parallel.plan(txs, fresh_state(), block_ctx()) is None
+
+    def test_cumulative_overspend_falls_back(self, parallel):
+        # Each tx individually fits the balance; the pair does not.  The
+        # serial loop would raise InsufficientFundsError at position 1, an
+        # effect scoped execution cannot reproduce -- so no parallel run.
+        almost_all = ether_to_wei(10) - 21_000 * GAS_PRICE
+        txs = [transfer(SENDERS[0], RECIPIENTS[0], nonce=0, value=almost_all),
+               transfer(SENDERS[0], RECIPIENTS[1], nonce=1, value=almost_all)]
+        assert parallel.plan(txs, fresh_state(), block_ctx()) is None
+
+    def test_intrinsic_gas_overflow_falls_back(self, parallel):
+        bad = Transaction(
+            sender=Address(SENDERS[0].address),
+            to=Address(RECIPIENTS[0].address),
+            value=1,
+            nonce=0,
+            gas_limit=10_000,  # below the 21k intrinsic cost
+            gas_price=GAS_PRICE,
+        ).sign(SENDERS[0])
+        assert parallel.plan([bad], fresh_state(), block_ctx()) is None
+
+    def test_fallback_happens_before_side_effects(self, parallel):
+        state = fresh_state()
+        before = state.to_dict()
+        txs = [transfer(SENDERS[0], RECIPIENTS[0], nonce=5)]
+        assert parallel.execute_block(txs, state, block_ctx()) is None
+        assert state.to_dict() == before
+        assert parallel.stats.blocks_serial_fallback == 1
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_mixed_block_matches_serial(self, workers):
+        txs = mixed_block()
+        serial_state, serial_receipts = run_serial(txs)
+        coordinator = make_parallel(workers=workers)
+        try:
+            state = fresh_state()
+            result = coordinator.execute_block(txs, state, block_ctx())
+            assert result is not None
+            included, receipts = result
+        finally:
+            coordinator.close()
+        assert [tx.hash_hex for tx in included] == [tx.hash_hex for tx in txs]
+        assert state.to_dict() == serial_state.to_dict()
+        for mine, reference in zip(receipts, serial_receipts):
+            assert mine.status == reference.status
+            assert mine.gas_used == reference.gas_used
+            assert mine.transaction_hash == reference.transaction_hash
+            assert [log.to_dict() for log in mine.logs] == [
+                log.to_dict() for log in reference.logs]
+
+    def test_stats_reflect_wave_layout(self, parallel):
+        state = fresh_state()
+        assert parallel.execute_block(mixed_block(), state,
+                                      block_ctx()) is not None
+        stats = parallel.stats
+        assert stats.blocks_parallel == 1
+        assert stats.txs_parallel == 6
+        assert stats.txs_exclusive == 0
+        # Wave 0 carries the five nonce-0 txs, wave 1 the chained nonce-1.
+        assert stats.wave_width_counts == {5: 1, 1: 1}
+        assert stats.conflict_ratio_last == pytest.approx(1 / 5)
+
+
+class TestSignatureGate:
+    def test_forged_signature_aborts_with_no_side_effects(self, parallel):
+        # A valid signature grafted onto a different payload: the recovered
+        # address no longer matches the sender.
+        donor = transfer(SENDERS[0], RECIPIENTS[0], value=999)
+        forged = Transaction(
+            sender=Address(SENDERS[0].address),
+            to=Address(RECIPIENTS[0].address),
+            value=1,
+            nonce=0,
+            gas_limit=21_000,
+            gas_price=GAS_PRICE,
+        )
+        object.__setattr__(forged, "signature", donor.signature)
+        assert not forged.verify_signature()
+        good = transfer(SENDERS[2], RECIPIENTS[2])
+        state = fresh_state()
+        before = state.to_dict()
+        assert parallel.execute_block([good, forged], state,
+                                      block_ctx()) is None
+        assert state.to_dict() == before
+
+    def test_offloaded_verify_matches_inline(self):
+        # Fresh tx objects: the serial reference run warms the signature
+        # memos, and warmed memos would (correctly) skip the worker pool.
+        txs = mixed_block()
+        serial_state, _ = run_serial(mixed_block())
+        coordinator = make_parallel(workers=2, verify_workers=1)
+        try:
+            state = fresh_state()
+            assert coordinator.execute_block(txs, state,
+                                             block_ctx()) is not None
+            assert coordinator.stats.verify_jobs_offloaded == len(txs)
+        finally:
+            coordinator.close()
+        assert state.to_dict() == serial_state.to_dict()
+
+
+class TestContainmentEscapeNet:
+    def test_footprint_escape_triggers_mid_block_serial_finish(
+            self, parallel, monkeypatch):
+        # Sabotage the extractor: claim transfers only touch the sender.
+        # Scoped execution then creates the recipient account *outside* the
+        # preloaded footprint, the containment check fires, and the block
+        # must finish serially -- still byte-identical to the serial loop.
+        def too_narrow(tx, state, coinbase=None):
+            return AccessSet(writes=frozenset((tx.sender.lower,)))
+
+        monkeypatch.setattr(parallel_executor_module, "extract_access",
+                            too_narrow)
+        txs = [transfer(SENDERS[i], RECIPIENTS[i]) for i in range(4)]
+        serial_state, _ = run_serial(txs)
+        state = fresh_state()
+        result = parallel.execute_block(txs, state, block_ctx())
+        assert result is not None
+        included, receipts = result
+        assert [tx.hash_hex for tx in included] == [tx.hash_hex for tx in txs]
+        assert state.to_dict() == serial_state.to_dict()
+        assert parallel.stats.mid_block_fallbacks == 1
+        assert parallel.stats.txs_serial_fallback == 4
+        assert parallel.stats.txs_parallel == 0
+
+
+class TestNoPartialWritesInWaves:
+    def test_mid_apply_abi_error_matches_serial(self):
+        # A call that raises AbiError after the fee debit (argument-count
+        # mismatch) lands in a wave next to healthy transfers; both paths
+        # must settle it as a clean revert with no partial writes.
+        from repro.chain.transaction import encode_call, encode_create
+
+        def build(run_parallel: bool):
+            executor = TransactionExecutor(backend=default_registry())
+            state = fresh_state()
+            deploy = Transaction(
+                sender=Address(SENDERS[0].address),
+                to=None,
+                data=encode_create("CidStorage", []),
+                nonce=0,
+                gas_limit=3_000_000,
+                gas_price=GAS_PRICE,
+            ).sign(SENDERS[0])
+            contract = executor.apply(deploy, state).contract_address
+            bad_call = Transaction(
+                sender=Address(SENDERS[1].address),
+                to=contract,
+                data=encode_call("uploadCid", []),  # cid argument missing
+                nonce=0,
+                gas_limit=300_000,
+                gas_price=GAS_PRICE,
+            ).sign(SENDERS[1])
+            txs = [bad_call,
+                   transfer(SENDERS[2], RECIPIENTS[2]),
+                   transfer(SENDERS[3], RECIPIENTS[3])]
+            ctx = block_ctx()
+            if run_parallel:
+                coordinator = ParallelExecutor(
+                    executor, config=ParallelConfig(workers=4))
+                try:
+                    result = coordinator.execute_block(txs, state, ctx)
+                finally:
+                    coordinator.close()
+                assert result is not None
+                receipts = result[1]
+            else:
+                receipts = []
+                for tx in txs:
+                    ctx.gas_price = tx.gas_price
+                    receipts.append(executor.apply(tx, state, ctx))
+            return state, receipts
+
+        serial_state, serial_receipts = build(run_parallel=False)
+        parallel_state, parallel_receipts = build(run_parallel=True)
+        assert not parallel_receipts[0].status
+        assert "argument mismatch" in parallel_receipts[0].revert_reason
+        assert parallel_state.to_dict() == serial_state.to_dict()
+        assert [r.to_dict() for r in parallel_receipts] == \
+            [r.to_dict() for r in serial_receipts]

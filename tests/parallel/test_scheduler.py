@@ -1,0 +1,157 @@
+"""Adversarial wave-scheduling pins: hand-built dependency graphs.
+
+Each test constructs footprints by hand and asserts the exact wave layout
+the greedy scheduler must produce -- the conflict-detector contract that
+the serial-equivalence harness relies on.
+"""
+
+from repro.parallel.access import AccessSet, EXCLUSIVE_ACCESS
+from repro.parallel.scheduler import build_schedule, trim_to_budget
+
+
+def w(*keys):
+    """Writes-only access set."""
+    return AccessSet(writes=frozenset(keys))
+
+
+def r(reads, writes=()):
+    """Access set with explicit read and write keys."""
+    return AccessSet(reads=frozenset(reads), writes=frozenset(writes))
+
+
+class TestWaveAssignment:
+    def test_same_sender_nonce_chain_serializes(self):
+        # Three txs all writing the same sender account: a nonce chain.
+        accesses = [w("0xa", "0xb"), w("0xa", "0xc"), w("0xa", "0xd")]
+        assert build_schedule(accesses).layout() == [[0], [1], [2]]
+
+    def test_disjoint_senders_parallelize_into_one_wave(self):
+        accesses = [w("0xa", "0xb"), w("0xc", "0xd"), w("0xe", "0xf")]
+        assert build_schedule(accesses).layout() == [[0, 1, 2]]
+
+    def test_read_only_txs_never_block_each_other(self):
+        # Two view calls into the same contract (reads 0xk) from disjoint
+        # senders: read/read is not a conflict, both land in wave 0.
+        accesses = [r(["0xk"], ["0xa"]), r(["0xk"], ["0xb"])]
+        assert build_schedule(accesses).layout() == [[0, 1]]
+
+    def test_write_after_read_on_shared_contract_forces_ordering(self):
+        # tx0 *reads* contract 0xk (a view call); tx1 *writes* it.  The
+        # write must wait for the read's wave, or tx0 could observe tx1's
+        # storage mutation.
+        accesses = [r(["0xk"], ["0xa"]), w("0xb", "0xk")]
+        assert build_schedule(accesses).layout() == [[0], [1]]
+
+    def test_read_after_write_forces_ordering(self):
+        accesses = [w("0xb", "0xk"), r(["0xk"], ["0xa"])]
+        assert build_schedule(accesses).layout() == [[0], [1]]
+
+    def test_shared_recipient_serializes(self):
+        # Disjoint senders paying the same recipient conflict on the
+        # recipient account (write/write).
+        accesses = [w("0xa", "0xz"), w("0xb", "0xz")]
+        assert build_schedule(accesses).layout() == [[0], [1]]
+
+    def test_exclusive_tx_is_a_solo_barrier(self):
+        accesses = [w("0xa", "0xb"), EXCLUSIVE_ACCESS, w("0xa", "0xc")]
+        schedule = build_schedule(accesses)
+        assert schedule.layout() == [[0], [1], [2]]
+        assert [wave.exclusive for wave in schedule.waves] == [
+            False, True, False]
+
+    def test_barrier_blocks_even_unrelated_txs(self):
+        # tx2 is disjoint from everything, but the create (tx1) fences it.
+        accesses = [w("0xa", "0xb"), EXCLUSIVE_ACCESS, w("0xc", "0xd")]
+        assert build_schedule(accesses).layout() == [[0], [1], [2]]
+
+    def test_mixed_graph_wave_layout(self):
+        # 0: a->b   1: c->d (parallel with 0)   2: a->e (after 0, same
+        # sender)  3: f->g (parallel with 2)    4: reads d (after 1's write)
+        accesses = [
+            w("0xa", "0xb"),
+            w("0xc", "0xd"),
+            w("0xa", "0xe"),
+            w("0xf", "0xg"),
+            r(["0xd"], ["0xh"]),
+        ]
+        assert build_schedule(accesses).layout() == [[0, 1, 3], [2, 4]]
+
+    def test_position_order_is_the_tie_break(self):
+        # Within a wave, positions appear in block order regardless of how
+        # the footprints interleave.
+        accesses = [w("0xa", "0xb"), w("0xc", "0xd"), w("0xe", "0xf")]
+        layout = build_schedule(accesses).layout()
+        assert layout == [[0, 1, 2]]
+        assert layout[0] == sorted(layout[0])
+
+
+class TestDeterminism:
+    def test_same_block_scheduled_twice_yields_identical_layout(self):
+        accesses = [
+            w("0xa", "0xb"), w("0xc", "0xd"), w("0xa", "0xe"),
+            EXCLUSIVE_ACCESS, r(["0xk"], ["0xf"]), w("0xg", "0xk"),
+        ]
+        first = build_schedule(accesses)
+        second = build_schedule(accesses)
+        assert first.layout() == second.layout()
+        assert [wave.exclusive for wave in first.waves] == [
+            wave.exclusive for wave in second.waves]
+
+    def test_layout_is_independent_of_worker_count(self):
+        # Worker count only affects slot costs, never the wave layout:
+        # build_schedule does not even take a worker argument, and the
+        # trim keeps whole waves at any worker count when the budget fits.
+        accesses = [w(f"0xs{i}", f"0xr{i}") for i in range(10)]
+        schedule = build_schedule(accesses)
+        for workers in (1, 2, 8):
+            assert trim_to_budget(schedule, 500, workers) == list(range(10))
+
+
+class TestSlotCostAndTrim:
+    def test_slot_cost_is_ceil_width_over_workers(self):
+        accesses = [w(f"0xs{i}", f"0xr{i}") for i in range(10)]
+        schedule = build_schedule(accesses)  # one wave of 10
+        assert schedule.slot_cost(1) == 10
+        assert schedule.slot_cost(4) == 3
+        assert schedule.slot_cost(8) == 2
+        assert schedule.slot_cost(16) == 1
+
+    def test_exclusive_wave_costs_one_slot_at_any_worker_count(self):
+        schedule = build_schedule([EXCLUSIVE_ACCESS])
+        assert schedule.slot_cost(1) == schedule.slot_cost(8) == 1
+
+    def test_trim_keeps_whole_wave_prefix(self):
+        # Two waves of 4 at 2 workers cost 2 slots each; budget 3 keeps
+        # wave 0 and half of wave 1 (remaining 1 slot * 2 workers = 2 txs).
+        accesses = [w(f"0xs{i}", "0xshared") for i in range(2)]
+        accesses += [w(f"0xt{i}", f"0xu{i}") for i in range(4)]
+        schedule = build_schedule(accesses)
+        assert schedule.layout() == [[0, 2, 3, 4, 5], [1]]
+        kept = trim_to_budget(schedule, 2, 2)  # wave0 costs 3 -> partial
+        assert kept == [0, 2, 3, 4]
+
+    def test_trim_never_drops_anything_when_block_fits(self):
+        # For blocks of <= budget txs, ceil(s/W) <= s per wave, so the
+        # total cost is <= n <= budget and nothing is ever trimmed -- the
+        # invariant that makes small-block equivalence worker-independent.
+        accesses = [w("0xa", f"0xr{i}") for i in range(5)]  # serial chain
+        accesses += [w(f"0xs{i}", f"0xq{i}") for i in range(7)]
+        schedule = build_schedule(accesses)
+        for workers in (1, 2, 8):
+            assert trim_to_budget(schedule, len(accesses), workers) == list(
+                range(len(accesses)))
+
+    def test_conflict_ratio_bounds(self):
+        serial = build_schedule([w("0xa", "0xb"), w("0xa", "0xc")])
+        parallel = build_schedule([w("0xa", "0xb"), w("0xc", "0xd")])
+        assert serial.conflict_ratio == 1.0
+        assert parallel.conflict_ratio == 0.0
+        assert build_schedule([]).conflict_ratio == 0.0
+        assert build_schedule([w("0xa", "0xb")]).conflict_ratio == 0.0
+
+    def test_width_histogram(self):
+        accesses = [w(f"0xs{i}", f"0xr{i}") for i in range(3)]
+        accesses.append(EXCLUSIVE_ACCESS)
+        accesses.append(w("0xz", "0xy"))
+        schedule = build_schedule(accesses)
+        assert schedule.width_histogram() == {3: 1, 1: 2}

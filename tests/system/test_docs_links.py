@@ -71,6 +71,7 @@ class TestDocumentationLinks:
         assert any(d.name == "simnet.md" for d in DOCUMENTS)
         assert any(d.name == "cli.md" for d in DOCUMENTS)
         assert any(d.name == "observability.md" for d in DOCUMENTS)
+        assert any(d.name == "parallel.md" for d in DOCUMENTS)
 
     @pytest.mark.parametrize("document", DOCUMENTS, ids=lambda p: p.name)
     def test_relative_links_resolve(self, document):
