@@ -14,11 +14,17 @@ This bench quantifies the accuracy / on-chain-interaction trade-off across:
   on-chain CID submissions).
 """
 
+import pytest
+
 from repro.fl import FedAvgConfig, FedAvgServer, FLClient
 from repro.fl.oneshot import make_aggregator
 from repro.ml import TrainingConfig
 
 from .conftest import print_table
+
+# Multi-round FedAvg retrains every owner per round; can exceed the
+# CI-wide --timeout=120 budget on a cold fixture cache.
+pytestmark = pytest.mark.timeout(600)
 
 
 def test_ablation_oneshot_vs_multiround(benchmark, bench_updates):

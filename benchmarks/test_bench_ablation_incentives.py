@@ -8,12 +8,17 @@ cost (number of aggregate evaluations) is the practical obstacle.
 """
 
 import numpy as np
+import pytest
 
 from repro.fl.oneshot import make_aggregator
 from repro.incentives import allocate_budget, leave_one_out, shapley_monte_carlo
 from repro.utils.units import ether_to_wei, format_ether
 
 from .conftest import print_table
+
+# Monte-Carlo Shapley sweeps the aggregator hundreds of times; far over the
+# CI-wide --timeout=120 budget.
+pytestmark = pytest.mark.timeout(600)
 
 
 def test_ablation_loo_vs_shapley(benchmark, bench_updates):

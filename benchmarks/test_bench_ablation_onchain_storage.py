@@ -9,12 +9,18 @@ a 317 KB model into contract storage, plus the actual measured cost of a CID
 submission transaction.
 """
 
+import pytest
+
 from repro.chain import EthereumNode, Faucet, KeyPair
 from repro.contracts import default_registry
 from repro.system.costs import estimate_onchain_model_storage_gas
 from repro.utils.units import ether_to_wei, gwei_to_wei, wei_to_ether
 
 from .conftest import print_table
+
+# The shared trained-updates fixture alone takes minutes on a cold cache;
+# far over the CI-wide --timeout=120 budget.
+pytestmark = pytest.mark.timeout(600)
 
 
 def test_ablation_cid_vs_model_on_chain(benchmark, paper_report):

@@ -10,11 +10,17 @@ Non-gated (not part of the CI perf baseline): replication cost scales with
 the replica count knob, so a fixed threshold would be meaningless.
 """
 
+import pytest
+
 from repro.cluster import ChainCluster, ClusterConfig, ClusterNode
 from repro.contracts import default_registry
 from repro.loadgen.driver import presigned_transfers
 
 from .conftest import print_table
+
+# Five-replica ingest re-executes every block on every replica; close
+# enough to the CI-wide --timeout=120 budget to need headroom.
+pytestmark = pytest.mark.timeout(300)
 
 NUM_TXS = 200
 NUM_SENDERS = 10

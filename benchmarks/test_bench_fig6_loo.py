@@ -8,11 +8,16 @@ full aggregate, and times the complete LOO computation.
 """
 
 import numpy as np
+import pytest
 
 from repro.fl.oneshot import make_aggregator
 from repro.incentives import leave_one_out
 
 from .conftest import print_table
+
+# One full PFNM aggregation per excluded owner; over the CI-wide
+# --timeout=120 budget on a cold fixture cache.
+pytestmark = pytest.mark.timeout(600)
 
 
 def test_fig6_leave_one_out_accuracies(benchmark, bench_updates):

@@ -1,0 +1,119 @@
+"""Wire-throughput benchmarks: the HTTP gateway under multi-process load.
+
+Everything else in the bench suite measures the stack in-process; these put
+the socket back in.  Each measurement boots a real ``repro serve`` stack on
+an ephemeral port and drives it with ``run_http_load`` worker processes
+(disjoint pre-signed senders, one keep-alive connection each), reporting:
+
+* wire requests/second as the worker count scales,
+* the fraction of in-process ingest throughput that survives the
+  HTTP round trip (the "cost of the wire"),
+* batch-POST amortization: the same reads as one envelope per call vs
+  one batch envelope per 20 calls.
+
+Non-gated (not part of the CI perf baseline): absolute socket throughput
+is too host-dependent for a fixed threshold; the committed BENCH_PR9.json
+records one observed run.  ``NET_BENCH_JSON=<path>`` writes that record.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.net import HttpLoadConfig, NetConfig, ServerThread, build_serve_stack
+from repro.net.loadgen import _HttpRpc, run_http_load
+
+from .conftest import print_table
+
+# Boots real servers and forks worker pools; needs headroom under the
+# CI-wide --timeout=120.
+pytestmark = pytest.mark.timeout(300)
+
+NUM_TXS = 48
+NUM_READS = 96
+
+
+def _load(workers: int) -> dict:
+    report = run_http_load(HttpLoadConfig(
+        num_txs=NUM_TXS, num_reads=NUM_READS, workers=workers,
+        senders=max(workers * 2, 4), seed=90 + workers))
+    assert report.errors_total == 0
+    assert report.tx_mined == NUM_TXS
+    return report.to_dict()
+
+
+def test_bench_wire_throughput_scales_with_workers():
+    """Wire req/s at 1, 2 and 4 worker processes, plus the wire tax."""
+    by_workers = {workers: _load(workers) for workers in (1, 2, 4)}
+    rows = []
+    for workers, result in by_workers.items():
+        retained = ""
+        inproc = result.get("inprocess_ingest") or {}
+        if inproc.get("tps"):
+            retained = f"{100 * result['wire_tx_tps'] / inproc['tps']:.1f}%"
+        rows.append((f"{workers} worker(s)",
+                     f"{result['wire_rps']:,.0f} req/s",
+                     f"{result['wire_tx_tps']:.1f} tx/s", retained))
+    print_table("HTTP wire throughput", rows,
+                ["workers", "requests", "transfers", "retained vs in-process"])
+    assert by_workers[4]["wire_rps"] > 0
+
+    target = os.environ.get("NET_BENCH_JSON")
+    if target:
+        payload = {
+            "schema": "oflw3-bench-pr9/v1",
+            "description": (
+                "Wire throughput of the asyncio HTTP gateway (repro.net) "
+                "under multi-process load: run_http_load worker processes "
+                "with disjoint pre-signed senders, one keep-alive "
+                "connection each, against a self-hosted repro serve stack "
+                "(producer at 50 ms). 'retained' compares mined-transfer "
+                "throughput over the socket against the in-process "
+                "measure_tx_ingest number for the same shape -- the cost "
+                "of HTTP framing, JSON envelopes and process hops."),
+            "gate": ("CI 'e2e' job: repro serve boot + loadgen --transport "
+                     "http smoke (blocking, grep 'wire throughput'); this "
+                     "bench itself is non-gated."),
+            "workload": {"num_txs": NUM_TXS, "num_reads": NUM_READS,
+                         "block_interval_seconds": 0.05},
+            "results": {
+                f"workers_{workers}": {
+                    "wire_rps": round(result["wire_rps"], 1),
+                    "wire_tx_tps": round(result["wire_tx_tps"], 1),
+                    "requests_total": result["requests_total"],
+                    "inprocess_ingest": result.get("inprocess_ingest"),
+                }
+                for workers, result in by_workers.items()
+            },
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def test_bench_batch_post_amortizes_round_trips():
+    """One envelope per read vs one batch envelope per 20 reads."""
+    import time
+
+    server = build_serve_stack(NetConfig(port=0, block_interval_seconds=0))
+    with ServerThread(server):
+        rpc = _HttpRpc("127.0.0.1", server.port, "/")
+        reads = 200
+
+        started = time.perf_counter()
+        for _ in range(reads):
+            rpc.call("eth_blockNumber", [])
+        sequential = reads / (time.perf_counter() - started)
+
+        started = time.perf_counter()
+        for _ in range(reads // 20):
+            rpc.batch([("eth_blockNumber", [])] * 20)
+        batched = reads / (time.perf_counter() - started)
+
+    print_table("batch POST amortization",
+                [("1 call/envelope", f"{sequential:,.0f} req/s"),
+                 ("20 calls/envelope", f"{batched:,.0f} req/s"),
+                 ("speedup", f"{batched / sequential:.1f}x")],
+                ["shape", "throughput"])
+    assert batched > sequential

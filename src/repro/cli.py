@@ -15,6 +15,10 @@ Subcommands
     gateway: thousands of simulated clients, Zipf-skewed and bursty request
     mixes, latency percentiles and error rates -- or sweep offered rates to
     find the saturation knee and measure wall-clock tx-ingest throughput.
+``serve``
+    Serve the JSON-RPC gateway over real sockets (``repro.net``): HTTP
+    single/batch POST, a WebSocket endpoint with ``eth_subscribe`` push,
+    Prometheus ``GET /metrics`` and a graceful SIGTERM drain.
 ``rpc``
     Ad-hoc JSON-RPC calls against the gateway (``repro.rpc``): list the
     served methods, issue a single ``eth_*``/``ipfs_*``/``oflw3_*`` call or
@@ -170,6 +174,69 @@ def build_parser() -> argparse.ArgumentParser:
                                   "an 'obs' section)")
     load_parser.add_argument("--save", default=None, metavar="PATH",
                              help="save the load/sweep report to a JSON file")
+    load_parser.add_argument("--transport", choices=["inprocess", "http"],
+                             default="inprocess",
+                             help="inprocess: simulated clients straight at "
+                                  "the gateway (default); http: worker "
+                                  "processes over real sockets against a "
+                                  "live server (repro.net)")
+    load_parser.add_argument("--url", default=None, metavar="URL",
+                             help="http transport: server to drive (e.g. "
+                                  "http://127.0.0.1:8545/); default: "
+                                  "self-host a fresh serve stack on an "
+                                  "ephemeral port")
+    load_parser.add_argument("--workers", type=int, default=2, metavar="N",
+                             help="http transport: worker processes "
+                                  "(default: 2)")
+    load_parser.add_argument("--txs", type=int, default=64, metavar="N",
+                             help="http transport: pre-signed transfers to "
+                                  "submit (default: 64)")
+    load_parser.add_argument("--reads", type=int, default=128, metavar="N",
+                             help="http transport: read calls interleaved "
+                                  "with the transfers (default: 128)")
+    load_parser.add_argument("--senders", type=int, default=8, metavar="N",
+                             help="http transport: funded sender accounts "
+                                  "(default: 8)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve the JSON-RPC gateway over HTTP/WebSocket (repro.net)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8545,
+                              help="TCP port; 0 binds an ephemeral port "
+                                   "(default: 8545)")
+    serve_parser.add_argument("--cluster", type=int, default=None, metavar="N",
+                              help="serve an N-replica replication cluster "
+                                   "instead of one node")
+    serve_parser.add_argument("--parallel", type=int, default=None, metavar="W",
+                              help="produce blocks with W-worker "
+                                   "wave-parallel execution")
+    serve_parser.add_argument("--store", default=None, metavar="DIR",
+                              help="persist the chain (WAL + snapshots) "
+                                   "under DIR (single node only)")
+    serve_parser.add_argument("--obs", action="store_true",
+                              help="enable the repro.obs observability layer "
+                                   "(GET /metrics then serves the full "
+                                   "unified registry)")
+    serve_parser.add_argument("--block-interval", type=float, default=0.5,
+                              metavar="SECONDS",
+                              help="producer cadence: mine pending "
+                                   "transactions every interval; 0 disables "
+                                   "the producer (mine via evm_mine) "
+                                   "(default: 0.5)")
+    serve_parser.add_argument("--max-connections", type=int, default=64,
+                              help="global concurrent-socket cap (default: 64)")
+    serve_parser.add_argument("--max-batch", type=int, default=100,
+                              help="envelopes per batch POST (default: 100)")
+    serve_parser.add_argument("--read-timeout", type=float, default=10.0,
+                              metavar="SECONDS",
+                              help="budget for reading one request (default: 10)")
+    serve_parser.add_argument("--send-queue", type=int, default=256,
+                              metavar="FRAMES",
+                              help="bounded per-WebSocket send queue; overflow "
+                                   "disconnects the slow consumer (default: 256)")
+    serve_parser.add_argument("--seed", type=int, default=7,
+                              help="seed for the served stack (default: 7)")
 
     obs_parser = subparsers.add_parser(
         "obs", help="run an observed workload and inspect metrics/traces/events")
@@ -424,6 +491,8 @@ def _command_loadgen(args: argparse.Namespace) -> int:
     from repro.errors import ReproError
     from repro.loadgen import LoadGenConfig, LoadGenerator, RequestMix, run_sweep
 
+    if args.transport == "http":
+        return _command_loadgen_http(args)
     try:
         mix = (RequestMix.parse(args.mix).to_dict() if args.mix is not None
                else None)
@@ -469,6 +538,87 @@ def _command_loadgen(args: argparse.Namespace) -> int:
 
         target = save_json(report.to_dict(), args.save)
         print(f"\nload report saved to {target}")
+    return 0
+
+
+def _command_loadgen_http(args: argparse.Namespace) -> int:
+    """The ``loadgen --transport http`` path: real sockets, worker processes."""
+    from repro.errors import ReproError
+    from repro.net import HttpLoadConfig, run_http_load
+
+    try:
+        config = HttpLoadConfig(
+            url=args.url,
+            num_txs=args.txs,
+            num_reads=args.reads,
+            workers=args.workers,
+            senders=args.senders,
+            seed=args.seed,
+        )
+        target = args.url or "a self-hosted server on an ephemeral port"
+        print(f"driving {target} with {config.workers} worker process(es): "
+              f"{config.num_txs} transfers + {config.num_reads} reads "
+              f"across {config.senders} senders (seed {config.seed})...")
+        report = run_http_load(config)
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(report.summary())
+    if args.save:
+        from repro.system.artifacts import save_json
+
+        target = save_json(report.to_dict(), args.save)
+        print(f"\nload report saved to {target}")
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Implement the ``serve`` subcommand: boot, print the port, run until
+    SIGTERM/SIGINT, then drain gracefully."""
+    import asyncio
+    import signal
+
+    from repro.errors import ReproError
+    from repro.net import NetConfig, build_serve_stack
+
+    try:
+        config = NetConfig(
+            host=args.host,
+            port=args.port,
+            max_connections=args.max_connections,
+            max_batch=args.max_batch,
+            read_timeout_seconds=args.read_timeout,
+            send_queue_frames=args.send_queue,
+            block_interval_seconds=args.block_interval,
+        )
+        server = build_serve_stack(
+            config,
+            cluster=args.cluster,
+            parallel=args.parallel,
+            store=args.store,
+            obs=args.obs,
+            seed=args.seed,
+            logger=lambda message: print(f"[serve] {message}", flush=True),
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without signal support: Ctrl-C raises instead
+        await server.run(stop)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -883,13 +1033,14 @@ def _command_info() -> int:
     """Implement the ``info`` subcommand."""
     print(f"repro {__version__} - OFL-W3 reproduction")
     print("subsystems: chain, contracts, ipfs, ml, data, fl, incentives, web, rpc, "
-          "storage, system, simnet, loadgen, cluster, obs, analytics")
+          "storage, system, simnet, loadgen, cluster, obs, analytics, net")
     print("entry points: repro.system.run_marketplace, repro.web.BuyerDApp / OwnerDApp, "
           "repro.rpc.MarketplaceClient, repro.storage.recover_node, "
-          "repro.cluster.ChainCluster, repro.analytics.attach_analytics")
+          "repro.cluster.ChainCluster, repro.analytics.attach_analytics, "
+          "repro.net.build_serve_stack")
     print("docs: README.md, docs/architecture.md, docs/rpc.md, docs/simnet.md, "
           "docs/cli.md, docs/performance.md, docs/observability.md, "
-          "docs/analytics.md")
+          "docs/analytics.md, docs/networking.md")
     return 0
 
 
@@ -906,6 +1057,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_simulate(args)
     if args.command == "loadgen":
         return _command_loadgen(args)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "obs":
         return _command_obs(args)
     if args.command == "rpc":

@@ -272,3 +272,18 @@ class ObservabilityError(ReproError):
 class AnalyticsError(ReproError):
     """An analytics-replica operation failed (no WAL to feed from, broken
     block linkage during change propagation, unknown rollup)."""
+
+
+# ---------------------------------------------------------------------------
+# Network transport (repro.net)
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """A network-transport operation failed (bad server config, malformed
+    HTTP or WebSocket traffic, a client driving a closed connection)."""
+
+
+class ProtocolViolationError(NetworkError):
+    """The peer broke the HTTP/1.1 or RFC 6455 framing rules (unmasked
+    client frame, oversized payload, truncated handshake)."""

@@ -26,7 +26,12 @@ from repro.loadgen.driver import (
     presigned_transfers,
     run_sweep,
 )
-from repro.loadgen.report import LoadReport, SweepPoint, SweepReport
+from repro.loadgen.report import (
+    HttpLoadReport,
+    LoadReport,
+    SweepPoint,
+    SweepReport,
+)
 from repro.loadgen.stats import LatencyStats, OpStats, percentile
 from repro.loadgen.workload import DEFAULT_MIX, ClientPool, RequestMix
 
@@ -35,6 +40,7 @@ __all__ = [
     "ClientPool",
     "DEFAULT_MIX",
     "FlashCrowdArrivals",
+    "HttpLoadReport",
     "LatencyStats",
     "LoadGenConfig",
     "LoadGenerator",

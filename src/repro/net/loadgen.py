@@ -1,0 +1,420 @@
+"""Multi-process HTTP load driver: the stack measured over real sockets.
+
+The in-process load generator (:mod:`repro.loadgen`) measures the gateway
+with zero transport cost; this driver completes the picture.  Worker
+*processes* (fork start method, falling back to in-process execution where
+fork is unavailable) fire pre-signed transfers and read calls at a live
+:class:`~repro.net.server.RpcHttpServer` over keep-alive
+``http.client`` connections, so the reported numbers include HTTP
+serialization, socket hops and the server's asyncio loop -- the end-to-end
+wire throughput ``BENCH_PR9.json`` records.
+
+Determinism notes: every worker owns a *disjoint* set of senders, so nonce
+sequences never race; all transfers use one uniform gas price, so within a
+sender the mempool mines them in nonce order and the sender's *last*
+receipt implies the whole set mined.  Signing happens in the parent before
+the clock starts -- it is client-side work, exactly as the in-process
+driver treats it.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import time
+import urllib.parse
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chain.account import Address
+from repro.chain.keys import KeyPair
+from repro.chain.transaction import Transaction
+from repro.errors import NetworkError
+from repro.loadgen.report import HttpLoadReport
+from repro.loadgen.stats import LatencyStats
+from repro.utils.units import ether_to_wei
+
+#: Gas price every generated transfer uses -- uniform on purpose, so mempool
+#: priority ordering degenerates to per-sender nonce order and the drain
+#: only has to watch each sender's last transaction.
+UNIFORM_GAS_PRICE = 10**9
+
+
+@dataclass(frozen=True)
+class HttpLoadConfig:
+    """One HTTP load run."""
+
+    url: Optional[str] = None
+    """Server to drive; ``None`` self-hosts a fresh serve stack on an
+    ephemeral port (and then also reports the in-process ingest number for
+    comparison)."""
+
+    num_txs: int = 64
+    """Pre-signed transfers to submit (``eth_sendRawTransaction``)."""
+
+    num_reads: int = 128
+    """Read calls interleaved with the submissions (``eth_blockNumber`` /
+    ``eth_getBalance`` alternating)."""
+
+    workers: int = 2
+    """Worker processes; each owns a disjoint slice of the senders."""
+
+    senders: int = 8
+    """Funded sender accounts the transfers are spread across."""
+
+    seed: int = 7
+    """Labels the generated keypairs (``http-load-<seed>-<i>``)."""
+
+    timeout_seconds: float = 30.0
+    """Per-request socket timeout inside the workers."""
+
+    drain_timeout_seconds: float = 60.0
+    """Budget for every submitted transfer to be mined after the run."""
+
+    compare_inprocess: bool = True
+    """When self-hosting, also run ``measure_tx_ingest`` with the same
+    transfer/sender counts for the wire-vs-in-process comparison."""
+
+    def __post_init__(self) -> None:
+        if self.num_txs < 0 or self.num_reads < 0:
+            raise NetworkError("num_txs and num_reads must be non-negative")
+        if self.num_txs + self.num_reads == 0:
+            raise NetworkError("nothing to do: num_txs + num_reads is zero")
+        if self.workers <= 0 or self.senders <= 0:
+            raise NetworkError("workers and senders must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "url": self.url,
+            "num_txs": self.num_txs,
+            "num_reads": self.num_reads,
+            "workers": self.workers,
+            "senders": self.senders,
+            "seed": self.seed,
+        }
+
+
+# -- the worker ---------------------------------------------------------------
+#
+# Top-level and fed plain tuples so it pickles under any start method.  Each
+# worker opens ONE keep-alive connection and fires its op list serially --
+# concurrency comes from the number of workers, which keeps per-request
+# latency honest (no in-process queueing ahead of the socket).
+
+
+def _run_ops(args: Tuple[str, int, str, List[Tuple[str, list]], float]) -> Dict[str, Any]:
+    host, port, path, ops, timeout = args
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    latencies: Dict[str, List[float]] = {}
+    errors = 0
+    try:
+        for method, params in ops:
+            body = json.dumps({"jsonrpc": "2.0", "id": 1,
+                               "method": method, "params": params})
+            started = time.perf_counter()
+            conn.request("POST", path, body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+            elapsed = time.perf_counter() - started
+            latencies.setdefault(method, []).append(elapsed)
+            if response.status != 200:
+                errors += 1
+                continue
+            try:
+                payload = json.loads(data)
+            except ValueError:
+                errors += 1
+                continue
+            if isinstance(payload, dict) and "error" in payload:
+                errors += 1
+    finally:
+        conn.close()
+    return {"latencies": latencies, "errors": errors}
+
+
+# -- parent-side HTTP plumbing ------------------------------------------------
+
+
+class _HttpRpc:
+    """Minimal blocking JSON-RPC-over-HTTP client for the parent process."""
+
+    def __init__(self, host: str, port: int, path: str = "/",
+                 timeout: float = 30.0) -> None:
+        self.host, self.port, self.path = host, port, path
+        self.timeout = timeout
+        self._next_id = 1
+
+    def _post(self, payload: Any) -> Any:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("POST", self.path, body=json.dumps(payload),
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise NetworkError(
+                    f"HTTP {response.status} from {self.host}:{self.port}")
+            return json.loads(data)
+        finally:
+            conn.close()
+
+    def call(self, method: str, params: Optional[list] = None) -> Any:
+        request_id = self._next_id
+        self._next_id += 1
+        reply = self._post({"jsonrpc": "2.0", "id": request_id,
+                            "method": method, "params": params or []})
+        if "error" in reply:
+            error = reply["error"]
+            raise NetworkError(
+                f"{method} failed: {error.get('code')} {error.get('message')}")
+        return reply["result"]
+
+    def batch(self, calls: List[Tuple[str, list]]) -> List[Any]:
+        """One batch POST; returns result-or-None per call, in call order."""
+        payload = [{"jsonrpc": "2.0", "id": index, "method": method,
+                    "params": params}
+                   for index, (method, params) in enumerate(calls)]
+        replies = self._post(payload)
+        by_id = {reply.get("id"): reply for reply in replies}
+        return [by_id.get(index, {}).get("result")
+                for index in range(len(calls))]
+
+    def get_text(self, path: str) -> str:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", path)
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise NetworkError(f"GET {path} returned {response.status}")
+            return data.decode("utf-8")
+        finally:
+            conn.close()
+
+
+def _scrape_rpc_requests_total(metrics_text: str) -> Optional[int]:
+    """Sum of the ``repro_rpc_requests_total`` series in a /metrics page."""
+    total = 0.0
+    seen = False
+    for line in metrics_text.splitlines():
+        if line.startswith("repro_rpc_requests_total"):
+            try:
+                total += float(line.rsplit(" ", 1)[1])
+                seen = True
+            except (ValueError, IndexError):
+                continue
+    return int(total) if seen else None
+
+
+# -- the run ------------------------------------------------------------------
+
+
+def _presign_over_http(rpc: _HttpRpc, config: HttpLoadConfig
+                       ) -> Tuple[List[List[str]], List[str]]:
+    """Fund senders and pre-sign their transfers, all through the wire.
+
+    Returns per-sender raw-tx hex lists plus each sender's last tx hash
+    (the drain watches those).  Starting nonces come from the server, so
+    the run composes against a chain with prior state.
+    """
+    keypairs = [KeyPair.from_label(f"http-load-{config.seed}-{index}")
+                for index in range(config.senders)]
+    for keypair in keypairs:
+        rpc.call("dev_fundAccount", [keypair.address, ether_to_wei(5)])
+    sink = Address(KeyPair.from_label(f"http-load-{config.seed}-sink").address)
+    per_sender = [config.num_txs // config.senders] * config.senders
+    for index in range(config.num_txs % config.senders):
+        per_sender[index] += 1
+    raw_by_sender: List[List[str]] = []
+    last_hashes: List[str] = []
+    for keypair, count in zip(keypairs, per_sender):
+        start_nonce = int(rpc.call(
+            "eth_getTransactionCount", [keypair.address, "pending"]), 16)
+        raws: List[str] = []
+        last_hash = ""
+        for offset in range(count):
+            tx = Transaction(sender=Address(keypair.address), to=sink,
+                             value=1, nonce=start_nonce + offset,
+                             gas_limit=21_000, gas_price=UNIFORM_GAS_PRICE)
+            tx.sign(keypair)
+            raws.append(tx.serialize_raw())
+            last_hash = tx.hash_hex
+        raw_by_sender.append(raws)
+        if last_hash:
+            last_hashes.append(last_hash)
+    return raw_by_sender, last_hashes
+
+
+def _build_worker_ops(config: HttpLoadConfig,
+                      raw_by_sender: List[List[str]],
+                      sender_addresses: List[str]) -> List[List[Tuple[str, list]]]:
+    """Partition work into per-worker op lists (disjoint senders each)."""
+    workers = max(1, min(config.workers, config.senders))
+    ops_per_worker: List[List[Tuple[str, list]]] = [[] for _ in range(workers)]
+    for index, raws in enumerate(raw_by_sender):
+        bucket = ops_per_worker[index % workers]
+        bucket.extend(("eth_sendRawTransaction", [raw]) for raw in raws)
+    reads_each = config.num_reads // workers
+    extra = config.num_reads % workers
+    for index, bucket in enumerate(ops_per_worker):
+        count = reads_each + (1 if index < extra else 0)
+        address = sender_addresses[index % len(sender_addresses)]
+        for read_index in range(count):
+            if read_index % 2 == 0:
+                bucket.append(("eth_blockNumber", []))
+            else:
+                bucket.append(("eth_getBalance", [address, "latest"]))
+    # Interleave: submissions first then reads would serialize mining after
+    # reading; shuffle deterministically by round-robin interleave instead.
+    for index, bucket in enumerate(ops_per_worker):
+        writes = [op for op in bucket if op[0] == "eth_sendRawTransaction"]
+        reads = [op for op in bucket if op[0] != "eth_sendRawTransaction"]
+        merged: List[Tuple[str, list]] = []
+        while writes or reads:
+            if writes:
+                merged.append(writes.pop(0))
+            if reads:
+                merged.append(reads.pop(0))
+        ops_per_worker[index] = merged
+    return [bucket for bucket in ops_per_worker if bucket]
+
+
+def _execute_workers(config: HttpLoadConfig, host: str, port: int, path: str,
+                     ops_per_worker: List[List[Tuple[str, list]]]
+                     ) -> List[Dict[str, Any]]:
+    """Fork a pool when the platform allows it; run inline otherwise."""
+    args = [(host, port, path, ops, config.timeout_seconds)
+            for ops in ops_per_worker]
+    if len(args) > 1:
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is not None:
+            with context.Pool(processes=len(args)) as pool:
+                return pool.map(_run_ops, args)
+    return [_run_ops(arg) for arg in args]
+
+
+def _drain(rpc: _HttpRpc, last_hashes: List[str],
+           timeout_seconds: float) -> int:
+    """Wait for each sender's last transfer to mine; returns mined count.
+
+    Mining is the server producer's job; the drain only *watches*, so the
+    measured drain time reflects the server's production cadence.  If the
+    producer is disabled (manual-mining servers), the drain nudges it with
+    ``evm_mine`` once per poll round.
+    """
+    if not last_hashes:  # reads-only run: nothing to wait for
+        return 0
+    deadline = time.perf_counter() + timeout_seconds
+    pending = list(last_hashes)
+    while pending and time.perf_counter() < deadline:
+        results = rpc.batch([("eth_getTransactionReceipt", [tx_hash])
+                             for tx_hash in pending])
+        pending = [tx_hash for tx_hash, result in zip(pending, results)
+                   if not result]
+        if not pending:
+            break
+        status = rpc.call("net_serverStatus", [])
+        if status["config"]["block_interval_seconds"] == 0:
+            rpc.call("evm_mine", [1])
+        else:
+            time.sleep(0.05)
+    return len(last_hashes) - len(pending)
+
+
+def run_http_load(config: Optional[HttpLoadConfig] = None) -> HttpLoadReport:
+    """Run one multi-process HTTP load measurement; returns its report."""
+    config = config or HttpLoadConfig()
+    server_thread = None
+    hosted_server = None
+    url = config.url
+    if url is None:
+        from repro.net.server import NetConfig, ServerThread, build_serve_stack
+
+        hosted_server = build_serve_stack(
+            NetConfig(port=0, block_interval_seconds=0.05), seed=config.seed)
+        server_thread = ServerThread(hosted_server)
+        port = server_thread.start()
+        url = f"http://127.0.0.1:{port}/"
+    parsed = urllib.parse.urlsplit(url)
+    if parsed.hostname is None or parsed.port is None:
+        raise NetworkError(f"load URL needs an explicit host and port: {url!r}")
+    host, port, path = parsed.hostname, parsed.port, parsed.path or "/"
+    rpc = _HttpRpc(host, port, path, timeout=config.timeout_seconds)
+    try:
+        start_height = int(rpc.call("eth_blockNumber", []), 16)
+        raw_by_sender, last_hashes = _presign_over_http(rpc, config)
+        sender_addresses = [
+            KeyPair.from_label(f"http-load-{config.seed}-{index}").address
+            for index in range(config.senders)]
+        ops_per_worker = _build_worker_ops(config, raw_by_sender,
+                                           sender_addresses)
+        started = time.perf_counter()
+        results = _execute_workers(config, host, port, path, ops_per_worker)
+        wall_seconds = time.perf_counter() - started
+
+        drain_started = time.perf_counter()
+        _drain(rpc, last_hashes, config.drain_timeout_seconds)
+        drain_seconds = time.perf_counter() - drain_started
+        end_height = int(rpc.call("eth_blockNumber", []), 16)
+
+        # A sender's last receipt implies its whole nonce sequence mined
+        # (uniform gas price, nonce-ordered admission).
+        tx_mined = 0
+        if last_hashes:
+            receipts = rpc.batch([("eth_getTransactionReceipt", [tx_hash])
+                                  for tx_hash in last_hashes])
+            for raws, receipt in zip([r for r in raw_by_sender if r], receipts):
+                if receipt:
+                    tx_mined += len(raws)
+
+        ops: Dict[str, dict] = {}
+        errors_total = 0
+        requests_total = 0
+        merged: Dict[str, LatencyStats] = {}
+        for result in results:
+            errors_total += result["errors"]
+            for method, samples in result["latencies"].items():
+                stats = merged.setdefault(method, LatencyStats(unit="s"))
+                for sample in samples:
+                    stats.record(sample)
+                requests_total += len(samples)
+        for method, stats in merged.items():
+            ops[method] = stats.to_dict()
+
+        try:
+            metrics_total = _scrape_rpc_requests_total(
+                rpc.get_text("/metrics"))
+        except NetworkError:
+            metrics_total = None
+
+        inprocess = None
+        if hosted_server is not None and config.compare_inprocess and config.num_txs:
+            from repro.loadgen.driver import measure_tx_ingest
+
+            inprocess = measure_tx_ingest(num_txs=config.num_txs,
+                                          num_senders=config.senders,
+                                          seed=config.seed)
+        return HttpLoadReport(
+            config=config.to_dict(),
+            wall_seconds=wall_seconds,
+            drain_seconds=drain_seconds,
+            requests_total=requests_total,
+            errors_total=errors_total,
+            ops=ops,
+            workers=len(ops_per_worker),
+            tx_submitted=config.num_txs,
+            tx_mined=tx_mined,
+            blocks_produced=end_height - start_height,
+            server_rpc_requests_total=metrics_total,
+            inprocess_ingest=inprocess,
+        )
+    finally:
+        if server_thread is not None:
+            server_thread.stop()

@@ -1,0 +1,130 @@
+"""Push subscriptions (``eth_subscribe``) over one node, per connection.
+
+A :class:`SubscriptionManager` is the push twin of the polling
+:class:`~repro.rpc.filters.FilterManager`: one manager per WebSocket
+connection, one cursor per subscription, advanced by the *same* poll cores
+(``poll_new_blocks`` / ``poll_pending_transactions`` / ``poll_new_logs``)
+the polling filters use.  Whatever ``eth_getFilterChanges`` would have
+returned over a block window -- including after a fork-choice reorg -- a
+subscription pushes byte-identically, because the two surfaces share the
+cursor logic rather than reimplementing it.
+
+Payload shapes:
+
+* ``newHeads`` -- the full block object with transactions as hashes
+  (exactly ``eth_getBlockByNumber(n, false)``), one notification per block;
+* ``newPendingTransactions`` -- one transaction hash per notification;
+* ``logs`` -- one log object per notification, filtered by the same
+  criteria dict ``eth_newFilter`` takes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.chain.events import LogFilter
+from repro.chain.node import EthereumNode
+from repro.rpc.filters import (
+    poll_new_blocks,
+    poll_new_logs,
+    poll_pending_transactions,
+)
+from repro.rpc.protocol import INVALID_PARAMS, JsonRpcError
+
+#: The subscription kinds the server accepts, in the order docs list them.
+SUBSCRIPTION_KINDS = ("newHeads", "newPendingTransactions", "logs")
+
+
+def head_payload(node: EthereumNode, number: int) -> Dict[str, Any]:
+    """A block rendered exactly like ``eth_getBlockByNumber(number, false)``."""
+    block = node.get_block(number)
+    payload = block.to_dict()
+    payload["transactions"] = [tx.hash_hex for tx in block.transactions]
+    return payload
+
+
+@dataclass
+class _Subscription:
+    """One live subscription: kind, poll cursor, (for logs) criteria."""
+
+    kind: str
+    cursor: int
+    criteria: Optional[LogFilter] = None
+
+
+class SubscriptionManager:
+    """Installs, pumps and cancels push subscriptions over one node."""
+
+    def __init__(self, node: EthereumNode) -> None:
+        self.node = node
+        self._subs: Dict[str, _Subscription] = {}
+        self._next_id = 1
+        #: Notifications produced over this manager's lifetime.
+        self.events_total = 0
+
+    def __len__(self) -> int:
+        return len(self._subs)
+
+    def kinds(self) -> Dict[str, int]:
+        """Live subscription count per kind (for the server gauges)."""
+        counts: Dict[str, int] = {}
+        for sub in self._subs.values():
+            counts[sub.kind] = counts.get(sub.kind, 0) + 1
+        return counts
+
+    def subscribe(self, kind: str, criteria: Optional[LogFilter] = None) -> str:
+        """Install a subscription from the current cursor; returns its id."""
+        if kind == "newHeads":
+            entry = _Subscription(kind=kind, cursor=self.node.block_number)
+        elif kind == "newPendingTransactions":
+            journal = self.node.chain.mempool.added_journal
+            entry = _Subscription(kind=kind, cursor=len(journal))
+        elif kind == "logs":
+            entry = _Subscription(kind=kind, cursor=self.node.chain.log_count,
+                                  criteria=criteria)
+        else:
+            raise JsonRpcError(
+                INVALID_PARAMS,
+                f"unknown subscription kind {kind!r}; "
+                f"expected one of {list(SUBSCRIPTION_KINDS)}")
+        sub_id = hex(self._next_id)
+        self._next_id += 1
+        self._subs[sub_id] = entry
+        return sub_id
+
+    def unsubscribe(self, sub_id: str) -> bool:
+        """Cancel a subscription; returns whether it existed."""
+        return self._subs.pop(sub_id, None) is not None
+
+    def clear(self) -> int:
+        """Drop every subscription (slow-consumer disconnect); returns count."""
+        dropped = len(self._subs)
+        self._subs.clear()
+        return dropped
+
+    def pump(self) -> List[Tuple[str, Any]]:
+        """Every new event since the last pump, as ``(sub_id, payload)`` pairs.
+
+        One pair per event (geth pushes one notification per head / hash /
+        log, never an array), in subscription-install order then event
+        order -- deterministic for a deterministic chain.
+        """
+        out: List[Tuple[str, Any]] = []
+        for sub_id, entry in self._subs.items():
+            if entry.kind == "newHeads":
+                hashes, tip = poll_new_blocks(self.node, entry.cursor)
+                for offset in range(len(hashes)):
+                    number = tip - len(hashes) + 1 + offset
+                    out.append((sub_id, head_payload(self.node, number)))
+                entry.cursor = tip
+            elif entry.kind == "newPendingTransactions":
+                hashes, entry.cursor = poll_pending_transactions(
+                    self.node, entry.cursor)
+                out.extend((sub_id, tx_hash) for tx_hash in hashes)
+            else:
+                logs, entry.cursor = poll_new_logs(
+                    self.node, entry.cursor, entry.criteria)
+                out.extend((sub_id, log) for log in logs)
+        self.events_total += len(out)
+        return out

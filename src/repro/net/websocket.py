@@ -1,0 +1,231 @@
+"""RFC 6455 WebSocket framing: server-side codec plus a blocking client.
+
+The server side (handshake accept key, frame encode/decode over asyncio
+streams) backs the gateway's ``/ws`` endpoint; the blocking
+:class:`WebSocketClient` is the reference consumer -- the subscription
+tests and the CI end-to-end smoke drive a live server with it over a plain
+``socket``.  Only single-frame (FIN=1) text/binary messages are supported;
+fragmentation is rejected with a protocol error, which every JSON-RPC
+client this repo ships satisfies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import os
+import socket
+import struct
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError, ProtocolViolationError
+
+#: The magic GUID every WebSocket handshake concatenates to the client key.
+ACCEPT_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+OP_TEXT = 0x1
+OP_BINARY = 0x2
+OP_CLOSE = 0x8
+OP_PING = 0x9
+OP_PONG = 0xA
+
+
+def accept_key(client_key: str) -> str:
+    """The ``Sec-WebSocket-Accept`` value for a client's handshake key."""
+    digest = hashlib.sha1((client_key + ACCEPT_GUID).encode("ascii")).digest()
+    return base64.b64encode(digest).decode("ascii")
+
+
+def encode_frame(opcode: int, payload: bytes, mask: bool = False) -> bytes:
+    """One FIN=1 frame; clients MUST mask, servers MUST NOT (RFC 6455)."""
+    header = bytearray([0x80 | opcode])
+    mask_bit = 0x80 if mask else 0x00
+    length = len(payload)
+    if length < 126:
+        header.append(mask_bit | length)
+    elif length < 1 << 16:
+        header.append(mask_bit | 126)
+        header += struct.pack("!H", length)
+    else:
+        header.append(mask_bit | 127)
+        header += struct.pack("!Q", length)
+    if mask:
+        key = os.urandom(4)
+        header += key
+        payload = bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+    return bytes(header) + payload
+
+
+def _unmask(payload: bytes, key: bytes) -> bytes:
+    return bytes(b ^ key[i % 4] for i, b in enumerate(payload))
+
+
+async def read_frame(reader: asyncio.StreamReader, *,
+                     max_bytes: int,
+                     require_mask: bool = True) -> Tuple[int, bytes]:
+    """Read one frame off an asyncio stream; returns ``(opcode, payload)``.
+
+    Raises :class:`ProtocolViolationError` on fragmentation, an unmasked
+    client frame, or a payload past ``max_bytes``; raises
+    :class:`asyncio.IncompleteReadError` when the peer just vanishes.
+    """
+    first, second = await reader.readexactly(2)
+    if not first & 0x80:
+        raise ProtocolViolationError("fragmented WebSocket frames are not supported")
+    opcode = first & 0x0F
+    masked = bool(second & 0x80)
+    if require_mask and not masked:
+        raise ProtocolViolationError("client frames must be masked (RFC 6455)")
+    length = second & 0x7F
+    if length == 126:
+        (length,) = struct.unpack("!H", await reader.readexactly(2))
+    elif length == 127:
+        (length,) = struct.unpack("!Q", await reader.readexactly(8))
+    if length > max_bytes:
+        raise ProtocolViolationError(
+            f"WebSocket payload of {length} bytes exceeds the {max_bytes}-byte cap")
+    key = await reader.readexactly(4) if masked else b""
+    payload = await reader.readexactly(length) if length else b""
+    if masked:
+        payload = _unmask(payload, key)
+    return opcode, payload
+
+
+# -- the blocking client ------------------------------------------------------
+
+
+class WebSocketClient:
+    """A blocking WebSocket JSON-RPC client over a plain socket.
+
+    Responses and subscription notifications interleave on the wire;
+    :meth:`request` buffers any notifications it reads while waiting for
+    its response id, and :meth:`next_notification` drains that buffer
+    before blocking on the socket again -- so callers can mine via one
+    request and then collect the push events it caused, in order.
+    """
+
+    def __init__(self, host: str, port: int, path: str = "/ws",
+                 timeout: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = b""
+        self._next_id = 1
+        self._notifications: List[Dict[str, Any]] = []
+        key = base64.b64encode(os.urandom(16)).decode("ascii")
+        handshake = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Key: {key}\r\n"
+            "Sec-WebSocket-Version: 13\r\n\r\n"
+        )
+        self._sock.sendall(handshake.encode("ascii"))
+        head = self._read_until(b"\r\n\r\n")
+        status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+        if " 101 " not in f"{status_line} ":
+            raise NetworkError(f"WebSocket handshake refused: {status_line!r}")
+        expected = accept_key(key)
+        if f"sec-websocket-accept: {expected.lower()}" not in head.decode("latin-1").lower():
+            raise NetworkError("WebSocket handshake returned a bad accept key")
+
+    # -- socket plumbing -----------------------------------------------------
+
+    def _read_until(self, marker: bytes) -> bytes:
+        while marker not in self._buffer:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise NetworkError("connection closed during WebSocket handshake")
+            self._buffer += chunk
+        head, self._buffer = self._buffer.split(marker, 1)
+        return head + marker
+
+    def _read_exact(self, count: int) -> bytes:
+        while len(self._buffer) < count:
+            chunk = self._sock.recv(4096)
+            if not chunk:
+                raise NetworkError("WebSocket connection closed by the server")
+            self._buffer += chunk
+        data, self._buffer = self._buffer[:count], self._buffer[count:]
+        return data
+
+    def _read_frame(self) -> Tuple[int, bytes]:
+        first, second = self._read_exact(2)
+        opcode = first & 0x0F
+        masked = bool(second & 0x80)
+        length = second & 0x7F
+        if length == 126:
+            (length,) = struct.unpack("!H", self._read_exact(2))
+        elif length == 127:
+            (length,) = struct.unpack("!Q", self._read_exact(8))
+        key = self._read_exact(4) if masked else b""
+        payload = self._read_exact(length) if length else b""
+        if masked:
+            payload = _unmask(payload, key)
+        return opcode, payload
+
+    def _read_message(self) -> Dict[str, Any]:
+        """The next data message, transparently answering pings."""
+        while True:
+            opcode, payload = self._read_frame()
+            if opcode == OP_PING:
+                self._sock.sendall(encode_frame(OP_PONG, payload, mask=True))
+                continue
+            if opcode == OP_CLOSE:
+                raise NetworkError("server closed the WebSocket connection")
+            if opcode in (OP_TEXT, OP_BINARY):
+                return json.loads(payload.decode("utf-8"))
+
+    # -- JSON-RPC ------------------------------------------------------------
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Send one raw JSON message (client frames are masked)."""
+        data = json.dumps(payload).encode("utf-8")
+        self._sock.sendall(encode_frame(OP_TEXT, data, mask=True))
+
+    def request(self, method: str, params: Optional[list] = None) -> Any:
+        """One JSON-RPC call; returns the result, raises on an error envelope."""
+        request_id = self._next_id
+        self._next_id += 1
+        self.send({"jsonrpc": "2.0", "id": request_id,
+                   "method": method, "params": params or []})
+        while True:
+            message = self._read_message()
+            if message.get("id") == request_id:
+                if "error" in message:
+                    error = message["error"]
+                    raise NetworkError(
+                        f"{method} failed: {error.get('code')} {error.get('message')}")
+                return message.get("result")
+            if message.get("method") == "eth_subscription":
+                self._notifications.append(message["params"])
+
+    def next_notification(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """The next ``eth_subscription`` push: ``{"subscription", "result"}``."""
+        if self._notifications:
+            return self._notifications.pop(0)
+        self._sock.settimeout(timeout)
+        while True:
+            message = self._read_message()
+            if message.get("method") == "eth_subscription":
+                return message["params"]
+
+    def drain_notifications(self) -> List[Dict[str, Any]]:
+        """Every buffered notification read so far (without blocking)."""
+        drained, self._notifications = self._notifications, []
+        return drained
+
+    def close(self) -> None:
+        """Send a close frame and drop the socket."""
+        try:
+            self._sock.sendall(encode_frame(OP_CLOSE, b"", mask=True))
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "WebSocketClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

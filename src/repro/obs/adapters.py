@@ -33,22 +33,28 @@ def register_rpc_metrics(registry: MetricsRegistry, metrics: Any) -> None:
     seconds_buckets = tuple(b / 1000.0 for b in LATENCY_BUCKETS_MS)
 
     def collect(reg: MetricsRegistry) -> None:
+        # Copy under the metrics lock: the gateway mutates these dicts on
+        # its dispatch thread while /metrics renders on the server thread.
+        with metrics.lock:
+            by_method = dict(metrics.by_method)
+            errors_by_code = dict(metrics.errors_by_code)
+            bucket_counts = list(metrics.latency_bucket_counts)
+            latency_total_ms = metrics.latency_total_ms
         requests = reg.counter(
             "repro_rpc_requests_total",
             "JSON-RPC requests served, by method.", ("method",))
-        for method, count in metrics.by_method.items():
+        for method, count in by_method.items():
             requests.labels(method=method).set_total(count)
         errors = reg.counter(
             "repro_rpc_errors_total",
             "JSON-RPC error responses, by error code.", ("code",))
-        for code, count in metrics.errors_by_code.items():
+        for code, count in errors_by_code.items():
             errors.labels(code=str(code)).set_total(count)
         latency = reg.histogram(
             "repro_rpc_request_latency_seconds",
             "Wall-clock JSON-RPC dispatch latency.",
             buckets=seconds_buckets)
-        latency.child.load(metrics.latency_bucket_counts,
-                           metrics.latency_total_ms / 1000.0)
+        latency.child.load(bucket_counts, latency_total_ms / 1000.0)
 
     registry.register_collector(collect)
 
@@ -243,5 +249,60 @@ def register_loadgen(registry: MetricsRegistry,
         reg.gauge("repro_loadgen_outstanding_txs",
                   "Transactions submitted but not yet mined.").child.set(
                       stats["outstanding"])
+
+    registry.register_collector(collect)
+
+
+def register_net_server(registry: MetricsRegistry, server: Any) -> None:
+    """Sample an ``repro.net`` HTTP/WebSocket server's operational counters.
+
+    Connection and subscription gauges, per-route request counters, and
+    the backpressure signals (deepest send queue, slow-consumer
+    disconnects, dropped subscriptions) -- the knobs
+    ``docs/networking.md`` documents are observable here.
+    """
+
+    def collect(reg: MetricsRegistry) -> None:
+        stats = server.stats
+        reg.gauge("repro_net_open_connections",
+                  "Sockets currently open against the server."
+                  ).child.set(stats.open_connections)
+        reg.counter("repro_net_connections_total",
+                    "Sockets accepted over the server's lifetime."
+                    ).child.set_total(stats.connections_total)
+        reg.gauge("repro_net_open_ws_connections",
+                  "WebSocket sessions currently upgraded."
+                  ).child.set(stats.open_ws_connections)
+        reg.counter("repro_net_ws_connections_total",
+                    "WebSocket upgrades over the server's lifetime."
+                    ).child.set_total(stats.ws_connections_total)
+        requests = reg.counter("repro_net_http_requests_total",
+                               "HTTP requests served, by route.", ("route",))
+        for route, count in sorted(stats.http_requests.items()):
+            requests.labels(route=route).set_total(count)
+        rejections = reg.counter("repro_net_rejections_total",
+                                 "Connections or requests refused, by reason.",
+                                 ("reason",))
+        for reason, count in sorted(stats.rejections.items()):
+            rejections.labels(reason=reason).set_total(count)
+        subs = reg.gauge("repro_net_active_subscriptions",
+                         "Live push subscriptions, by kind.", ("kind",))
+        for kind, count in sorted(server.subscription_kinds().items()):
+            subs.labels(kind=kind).set(count)
+        reg.counter("repro_net_ws_messages_total",
+                    "Inbound WebSocket data messages."
+                    ).child.set_total(stats.ws_messages_total)
+        reg.counter("repro_net_notifications_total",
+                    "Subscription notifications pushed to clients."
+                    ).child.set_total(stats.notifications_total)
+        reg.gauge("repro_net_send_queue_depth",
+                  "Deepest per-socket send queue (backpressure signal)."
+                  ).child.set(server.send_queue_depth())
+        reg.counter("repro_net_slow_consumer_disconnects_total",
+                    "Clients disconnected for not draining their send queue."
+                    ).child.set_total(stats.slow_consumer_disconnects_total)
+        reg.counter("repro_net_dropped_subscriptions_total",
+                    "Subscriptions dropped by slow-consumer disconnects."
+                    ).child.set_total(stats.dropped_subscriptions_total)
 
     registry.register_collector(collect)

@@ -24,6 +24,7 @@ histograms end in ``_seconds``.
 from __future__ import annotations
 
 import re
+import threading
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ObservabilityError
@@ -211,9 +212,18 @@ class MetricFamily:
 
 
 class MetricsRegistry:
-    """The central home for every metric family plus pull-based collectors."""
+    """The central home for every metric family plus pull-based collectors.
+
+    Family creation and the collect/snapshot/render paths hold a reentrant
+    lock: the HTTP server renders ``/metrics`` while other threads dispatch
+    requests that create label children, and a dict resize during a render
+    would otherwise blow up the iteration.  The lock is reentrant because
+    collectors run *inside* :meth:`collect` and themselves call
+    :meth:`counter` / :meth:`gauge` / :meth:`histogram`.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._families: Dict[str, MetricFamily] = {}
         self._collectors: List[Collector] = []
 
@@ -228,16 +238,17 @@ class MetricsRegistry:
         for label in labeltuple:
             if not METRIC_NAME_RE.match(label):
                 raise ObservabilityError(f"label name {label!r} is not snake_case")
-        existing = self._families.get(name)
-        if existing is not None:
-            if existing.kind != kind or existing.labelnames != labeltuple:
-                raise ObservabilityError(
-                    f"metric {name!r} already registered as {existing.kind} "
-                    f"with labels {existing.labelnames}")
-            return existing
-        family = MetricFamily(name, kind, help_text, labeltuple, buckets)
-        self._families[name] = family
-        return family
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.kind != kind or existing.labelnames != labeltuple:
+                    raise ObservabilityError(
+                        f"metric {name!r} already registered as {existing.kind} "
+                        f"with labels {existing.labelnames}")
+                return existing
+            family = MetricFamily(name, kind, help_text, labeltuple, buckets)
+            self._families[name] = family
+            return family
 
     def counter(self, name: str, help_text: str = "",
                 labelnames: Iterable[str] = ()) -> MetricFamily:
@@ -269,20 +280,23 @@ class MetricsRegistry:
         instrumented hot paths pay nothing until somebody actually asks for
         metrics.
         """
-        self._collectors.append(collector)
+        with self._lock:
+            self._collectors.append(collector)
         return collector
 
     def collect(self) -> None:
         """Run every registered collector once (refreshing adapted metrics)."""
-        for collector in list(self._collectors):
-            collector(self)
+        with self._lock:
+            for collector in list(self._collectors):
+                collector(self)
 
     # -- exposition ---------------------------------------------------------
 
     def families(self) -> List[MetricFamily]:
         """All families sorted by name (after running collectors)."""
-        self.collect()
-        return [self._families[name] for name in sorted(self._families)]
+        with self._lock:
+            self.collect()
+            return [self._families[name] for name in sorted(self._families)]
 
     def snapshot(self) -> Dict[str, Any]:
         """Deterministic JSON-friendly dump of every family.
@@ -291,6 +305,10 @@ class MetricsRegistry:
         snapshot in a ``save_json`` artifact keeps the file byte-stable for
         equal metric values.
         """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {}
         for family in self.families():
             series: List[Dict[str, Any]] = []
@@ -322,6 +340,10 @@ class MetricsRegistry:
 
     def render_prometheus(self) -> str:
         """The registry in Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            return self._render_locked()
+
+    def _render_locked(self) -> str:
         lines: List[str] = []
         for family in self.families():
             lines.append(f"# HELP {family.name} {family.help}")

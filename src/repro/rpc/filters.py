@@ -30,6 +30,35 @@ class _InstalledFilter:
     criteria: Optional[LogFilter] = None
 
 
+# -- shared poll cores --------------------------------------------------------
+#
+# Both the polling filters here and the push subscriptions in
+# ``repro.net.subscriptions`` advance the SAME cursors through these three
+# functions, so an ``eth_subscribe`` stream is byte-identical to what
+# ``eth_getFilterChanges`` would have returned over the same window --
+# including across fork-choice reorgs -- by construction, not by test luck.
+
+
+def poll_new_blocks(node: EthereumNode, cursor: int) -> tuple:
+    """Hashes of canonical blocks past ``cursor``; returns (hashes, tip)."""
+    tip = node.block_number
+    hashes = [node.get_block(number).hash for number in range(cursor + 1, tip + 1)]
+    return hashes, tip
+
+
+def poll_pending_transactions(node: EthereumNode, cursor: int) -> tuple:
+    """Mempool-journal hashes past ``cursor``; returns (hashes, new_cursor)."""
+    journal = node.chain.mempool.added_journal
+    return list(journal[cursor:]), len(journal)
+
+
+def poll_new_logs(node: EthereumNode, cursor: int,
+                  criteria: Optional[LogFilter]) -> tuple:
+    """Log dicts past the append-only log ``cursor``; returns (logs, cursor)."""
+    page = node.get_logs_page(criteria, cursor=str(cursor))
+    return [log.to_dict() for log in page.logs], node.chain.log_count
+
+
 class FilterManager:
     """Installs, polls and uninstalls filters over one node."""
 
@@ -76,21 +105,14 @@ class FilterManager:
         """Everything new since the last poll of ``filter_id``."""
         entry = self._lookup(filter_id)
         if entry.kind == "block":
-            tip = self.node.block_number
-            hashes = [
-                self.node.get_block(number).hash
-                for number in range(entry.cursor + 1, tip + 1)
-            ]
-            entry.cursor = tip
+            hashes, entry.cursor = poll_new_blocks(self.node, entry.cursor)
             return hashes
         if entry.kind == "pending":
-            journal = self.node.chain.mempool.added_journal
-            new_hashes = list(journal[entry.cursor:])
-            entry.cursor = len(journal)
+            new_hashes, entry.cursor = poll_pending_transactions(
+                self.node, entry.cursor)
             return new_hashes
-        page = self.node.get_logs_page(entry.criteria, cursor=str(entry.cursor))
-        entry.cursor = self.node.chain.log_count
-        return [log.to_dict() for log in page.logs]
+        logs, entry.cursor = poll_new_logs(self.node, entry.cursor, entry.criteria)
+        return logs
 
     def logs(self, filter_id: str) -> List[Dict[str, Any]]:
         """All logs matching a log filter's criteria (``eth_getFilterLogs``)."""

@@ -9,6 +9,7 @@ the gateway was configured with.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional
 
@@ -37,9 +38,17 @@ class RequestMetrics:
     Latency is wall-clock handler time (``time.perf_counter``), not simulated
     time -- it measures the gateway's own cost, which is what the RPC
     benchmarks track.
+
+    Counters mutate on whatever thread dispatches requests, while
+    ``GET /metrics`` renders snapshots from the registry's collector --
+    potentially another thread.  Every mutation and every read of the
+    per-method/per-code dicts therefore holds :attr:`lock`; without it a
+    dict resize mid-iteration blows up the render (and counts tear).
     """
 
     def __init__(self) -> None:
+        #: Guards every counter against concurrent snapshot/render reads.
+        self.lock = threading.Lock()
         self.requests_total = 0
         self.errors_total = 0
         self.by_method: Dict[str, int] = {}
@@ -56,37 +65,43 @@ class RequestMetrics:
         self._gauges[name] = sample
 
     def __call__(self, request: RpcRequest, call_next: CallNext) -> Any:
-        self.requests_total += 1
-        self.by_method[request.method] = self.by_method.get(request.method, 0) + 1
+        with self.lock:
+            self.requests_total += 1
+            self.by_method[request.method] = self.by_method.get(request.method, 0) + 1
         started = time.perf_counter()
         try:
             return call_next(request)
         except JsonRpcError as exc:
-            self.errors_total += 1
-            self.errors_by_code[exc.code] = self.errors_by_code.get(exc.code, 0) + 1
+            with self.lock:
+                self.errors_total += 1
+                self.errors_by_code[exc.code] = self.errors_by_code.get(exc.code, 0) + 1
             raise
         finally:
             self._observe((time.perf_counter() - started) * 1000.0)
 
     def _observe(self, elapsed_ms: float) -> None:
         """Record one request duration in its ``le``-inclusive bucket."""
-        self.latency_total_ms += elapsed_ms
-        for index, bound in enumerate(LATENCY_BUCKETS_MS):
-            if elapsed_ms <= bound:
-                self.latency_bucket_counts[index] += 1
-                return
-        self.latency_bucket_counts[-1] += 1
+        with self.lock:
+            self.latency_total_ms += elapsed_ms
+            for index, bound in enumerate(LATENCY_BUCKETS_MS):
+                if elapsed_ms <= bound:
+                    self.latency_bucket_counts[index] += 1
+                    return
+            self.latency_bucket_counts[-1] += 1
 
     @property
     def mean_latency_ms(self) -> float:
         """Average handler latency in milliseconds."""
-        if self.requests_total == 0:
-            return 0.0
-        return self.latency_total_ms / self.requests_total
+        with self.lock:
+            if self.requests_total == 0:
+                return 0.0
+            return self.latency_total_ms / self.requests_total
 
     def top_methods(self, count: int = 5) -> List[Any]:
         """The ``count`` most-called methods as (method, calls) pairs."""
-        ranked = sorted(self.by_method.items(), key=lambda item: (-item[1], item[0]))
+        with self.lock:
+            ranked = sorted(self.by_method.items(),
+                            key=lambda item: (-item[1], item[0]))
         return ranked[:count]
 
     def snapshot(self, include_latency: bool = True) -> Dict[str, Any]:
@@ -95,19 +110,23 @@ class RequestMetrics:
         Scenario reports pass ``include_latency=False``: request counts are
         deterministic across runs, wall-clock latencies are not.
         """
-        counters: Dict[str, Any] = {
-            "requests_total": self.requests_total,
-            "errors_total": self.errors_total,
-            "by_method": dict(sorted(self.by_method.items())),
-            "errors_by_code": {str(code): n for code, n in sorted(self.errors_by_code.items())},
-        }
-        if include_latency:
-            counters["mean_latency_ms"] = round(self.mean_latency_ms, 4)
-            counters["latency_histogram_ms"] = {
-                **{str(bound): count
-                   for bound, count in zip(LATENCY_BUCKETS_MS, self.latency_bucket_counts)},
-                "+inf": self.latency_bucket_counts[-1],
+        with self.lock:
+            counters: Dict[str, Any] = {
+                "requests_total": self.requests_total,
+                "errors_total": self.errors_total,
+                "by_method": dict(sorted(self.by_method.items())),
+                "errors_by_code": {str(code): n for code, n in sorted(self.errors_by_code.items())},
             }
+            if include_latency:
+                # Inline mean: the property re-takes the (non-reentrant) lock.
+                mean = (self.latency_total_ms / self.requests_total
+                        if self.requests_total else 0.0)
+                counters["mean_latency_ms"] = round(mean, 4)
+                counters["latency_histogram_ms"] = {
+                    **{str(bound): count
+                       for bound, count in zip(LATENCY_BUCKETS_MS, self.latency_bucket_counts)},
+                    "+inf": self.latency_bucket_counts[-1],
+                }
         for name, sample in sorted(self._gauges.items()):
             counters[name] = sample()
         return counters

@@ -30,7 +30,13 @@ from repro.chain.transaction import Transaction, decode_payload
 from repro.ipfs.node import IpfsNode
 from repro.ipfs.swarm import Swarm
 from repro.rpc.filters import FilterManager
-from repro.rpc.protocol import INVALID_PARAMS, JsonRpcError, SERVER_ERROR, to_quantity
+from repro.rpc.protocol import (
+    INVALID_PARAMS,
+    JsonRpcError,
+    METHOD_NOT_ALLOWED,
+    SERVER_ERROR,
+    to_quantity,
+)
 from repro.utils.encoding import from_hex, to_hex
 
 MethodTable = Dict[str, Callable[..., Any]]
@@ -197,6 +203,30 @@ class EthNamespace:
         """Remove a filter; returns whether it existed."""
         return self.filters.uninstall(filter_id)
 
+    # -- push subscriptions ------------------------------------------------------
+    #
+    # Real subscriptions need a socket to push down; over plain HTTP these
+    # two are documented stubs that point the caller at the ``/ws`` endpoint.
+    # The WebSocket server intercepts both methods *before* gateway dispatch
+    # and serves them from the connection's SubscriptionManager, so the
+    # stubs only ever fire on a transport that cannot push.
+
+    def subscribe(self, kind: str, criteria: Optional[Dict[str, Any]] = None) -> str:
+        """Install a push subscription (``newHeads``, ``newPendingTransactions``
+        or ``logs``).  WebSocket connections only -- see ``docs/networking.md``."""
+        raise JsonRpcError(
+            METHOD_NOT_ALLOWED,
+            "eth_subscribe needs a connection to push notifications down; "
+            "connect to the server's /ws WebSocket endpoint")
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Cancel a push subscription installed by ``eth_subscribe``.
+        WebSocket connections only -- see ``docs/networking.md``."""
+        raise JsonRpcError(
+            METHOD_NOT_ALLOWED,
+            "eth_unsubscribe needs the WebSocket connection that installed "
+            "the subscription; connect to the server's /ws endpoint")
+
     # -- dev-chain extensions ---------------------------------------------------
 
     def evm_mine(self, blocks: int = 1) -> List[str]:
@@ -224,6 +254,8 @@ class EthNamespace:
             "eth_getFilterChanges": self.get_filter_changes,
             "eth_getFilterLogs": self.get_filter_logs,
             "eth_uninstallFilter": self.uninstall_filter,
+            "eth_subscribe": self.subscribe,
+            "eth_unsubscribe": self.unsubscribe,
             "evm_mine": self.evm_mine,
         }
 

@@ -13,6 +13,11 @@ from repro.loadgen import (
 )
 
 
+# The 1000-client saturation sweep runs tens of simulated minutes; give it
+# headroom under the CI-wide --timeout=120.
+pytestmark = pytest.mark.timeout(300)
+
+
 def small_config(**overrides):
     base = dict(clients=40, duration_seconds=60.0, rate=8.0, seed=11)
     base.update(overrides)

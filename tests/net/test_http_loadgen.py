@@ -1,0 +1,118 @@
+"""Multi-process HTTP loadgen: config, partitioning, scrape, full run."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import HttpLoadConfig, run_http_load
+from repro.net.loadgen import _build_worker_ops, _scrape_rpc_requests_total
+
+
+class TestHttpLoadConfig:
+    def test_defaults(self):
+        config = HttpLoadConfig()
+        assert config.url is None
+        assert config.workers == 2
+
+    @pytest.mark.parametrize("overrides", [
+        dict(num_txs=-1),
+        dict(num_txs=0, num_reads=0),
+        dict(workers=0),
+        dict(senders=0),
+    ])
+    def test_bad_values_are_rejected(self, overrides):
+        with pytest.raises(NetworkError):
+            HttpLoadConfig(**overrides)
+
+    def test_to_dict_carries_the_run_shape(self):
+        document = HttpLoadConfig(num_txs=5, workers=3).to_dict()
+        assert document["num_txs"] == 5
+        assert document["workers"] == 3
+
+
+class TestWorkerPartitioning:
+    def make_ops(self, *, txs, reads, workers, senders):
+        config = HttpLoadConfig(num_txs=txs, num_reads=reads,
+                                workers=workers, senders=senders)
+        raw_by_sender = []
+        start = 0
+        per_sender = [txs // senders] * senders
+        for index in range(txs % senders):
+            per_sender[index] += 1
+        for count in per_sender:
+            raw_by_sender.append(
+                [f"0xraw{start + offset}" for offset in range(count)])
+            start += count
+        addresses = [f"0xsender{index}" for index in range(senders)]
+        return _build_worker_ops(config, raw_by_sender, addresses)
+
+    def test_senders_are_disjoint_across_workers(self):
+        ops = self.make_ops(txs=10, reads=0, workers=3, senders=5)
+        raw_sets = []
+        for bucket in ops:
+            raw_sets.append({params[0] for method, params in bucket
+                             if method == "eth_sendRawTransaction"})
+        for index, this in enumerate(raw_sets):
+            for other in raw_sets[index + 1:]:
+                assert not (this & other)
+        assert sum(len(s) for s in raw_sets) == 10
+
+    def test_all_reads_are_distributed(self):
+        ops = self.make_ops(txs=4, reads=7, workers=2, senders=4)
+        reads = sum(1 for bucket in ops for method, _ in bucket
+                    if method != "eth_sendRawTransaction")
+        assert reads == 7
+
+    def test_workers_are_capped_by_senders(self):
+        ops = self.make_ops(txs=6, reads=0, workers=8, senders=2)
+        assert len(ops) == 2
+
+    def test_writes_and_reads_interleave(self):
+        ops = self.make_ops(txs=6, reads=6, workers=1, senders=1)
+        methods = [method for method, _ in ops[0]]
+        assert methods[0] == "eth_sendRawTransaction"
+        assert methods[1] != "eth_sendRawTransaction"
+
+
+class TestScrape:
+    def test_sums_every_labelled_series(self):
+        text = ('# HELP repro_rpc_requests_total ...\n'
+                '# TYPE repro_rpc_requests_total counter\n'
+                'repro_rpc_requests_total{method="eth_blockNumber"} 3\n'
+                'repro_rpc_requests_total{method="eth_chainId"} 2\n'
+                'repro_other_total 99\n')
+        assert _scrape_rpc_requests_total(text) == 5
+
+    def test_missing_series_is_none(self):
+        assert _scrape_rpc_requests_total("repro_other_total 99\n") is None
+
+
+class TestRunHttpLoad:
+    def test_self_hosted_run_end_to_end(self):
+        config = HttpLoadConfig(num_txs=8, num_reads=8, workers=2, senders=4,
+                                seed=31, compare_inprocess=True)
+        report = run_http_load(config)
+        assert report.tx_submitted == 8
+        assert report.tx_mined == 8
+        assert report.errors_total == 0
+        assert report.requests_total >= 16
+        assert report.workers == 2
+        assert report.wire_rps > 0
+        assert report.server_rpc_requests_total >= 16
+        assert report.inprocess_ingest is not None
+
+        document = report.to_dict()
+        assert document["schema"] == "oflw3-http-load/v1"
+        assert "eth_sendRawTransaction" in document["ops"]
+
+        summary = report.summary()
+        assert summary.startswith("wire throughput:")
+        assert "transfers" in summary
+
+    def test_reads_only_run_skips_the_drain(self):
+        report = run_http_load(HttpLoadConfig(
+            num_txs=0, num_reads=6, workers=1, senders=1, seed=32,
+            compare_inprocess=False))
+        assert report.tx_submitted == 0
+        assert report.tx_mined == 0
+        assert report.errors_total == 0
+        assert "inprocess_ingest" not in report.to_dict()

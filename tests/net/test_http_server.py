@@ -1,0 +1,249 @@
+"""The asyncio HTTP server: routes, caps, keep-alive, drain."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net import NetConfig, RpcHttpServer, ServerThread, build_serve_stack
+
+
+def make_server(**overrides):
+    defaults = dict(port=0, block_interval_seconds=0)
+    defaults.update(overrides)
+    return build_serve_stack(NetConfig(**defaults))
+
+
+def post(port, payload, path="/"):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("POST", path, body=json.dumps(payload),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read() or b"null")
+    finally:
+        conn.close()
+
+
+def get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+class TestNetConfig:
+    def test_defaults_are_valid(self):
+        config = NetConfig()
+        assert config.port == 8545
+        assert config.max_batch == 100
+
+    @pytest.mark.parametrize("field,value", [
+        ("max_connections", 0),
+        ("max_request_bytes", 10),
+        ("max_batch", 0),
+        ("read_timeout_seconds", 0),
+        ("send_queue_frames", 0),
+        ("block_interval_seconds", -1),
+    ])
+    def test_bad_values_are_rejected(self, field, value):
+        with pytest.raises(NetworkError):
+            NetConfig(**{field: value})
+
+    def test_to_dict_round_trips_every_knob(self):
+        config = NetConfig(port=0, max_batch=7)
+        assert NetConfig(**config.to_dict()).max_batch == 7
+
+
+class TestRoutes:
+    @pytest.fixture()
+    def port(self):
+        server = make_server()
+        with ServerThread(server):
+            yield server.port
+
+    def test_single_rpc_post(self, port):
+        status, reply = post(port, {"jsonrpc": "2.0", "id": 1,
+                                    "method": "eth_chainId", "params": []})
+        assert status == 200
+        assert reply["result"] == "0xaa36a7"
+
+    def test_batch_rpc_post_preserves_order(self, port):
+        batch = [{"jsonrpc": "2.0", "id": index,
+                  "method": "eth_blockNumber", "params": []}
+                 for index in range(5)]
+        status, replies = post(port, batch, path="/rpc")
+        assert status == 200
+        assert [reply["id"] for reply in replies] == list(range(5))
+
+    def test_batch_over_the_cap_gets_an_error_envelope(self):
+        server = make_server(max_batch=3)
+        with ServerThread(server):
+            batch = [{"jsonrpc": "2.0", "id": index,
+                      "method": "eth_blockNumber", "params": []}
+                     for index in range(4)]
+            status, reply = post(server.port, batch)
+        assert status == 200
+        assert reply["error"]["code"] == -32600
+        assert "cap" in reply["error"]["message"]
+
+    def test_healthz_reports_height(self, port):
+        status, body = get(port, "/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok", "height": 0}
+
+    def test_metrics_exposes_rpc_request_counter(self, port):
+        post(port, {"jsonrpc": "2.0", "id": 1,
+                    "method": "eth_blockNumber", "params": []})
+        status, body = get(port, "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert 'repro_rpc_requests_total{method="eth_blockNumber"} 1' in text
+        assert "repro_net_open_connections" in text
+
+    def test_unknown_path_is_404(self, port):
+        assert get(port, "/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, port):
+        assert get(port, "/")[0] == 405
+
+    def test_oversized_body_is_413(self):
+        server = make_server(max_request_bytes=2048)
+        with ServerThread(server):
+            conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                              timeout=10)
+            try:
+                conn.request("POST", "/", body="x" * 4096)
+                assert conn.getresponse().status == 413
+            finally:
+                conn.close()
+
+    def test_keep_alive_serves_many_requests_on_one_socket(self, port):
+        conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+        try:
+            for index in range(3):
+                conn.request("POST", "/", body=json.dumps(
+                    {"jsonrpc": "2.0", "id": index,
+                     "method": "eth_blockNumber", "params": []}))
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["id"] == index
+        finally:
+            conn.close()
+
+    def test_http_eth_subscribe_points_at_the_ws_endpoint(self, port):
+        status, reply = post(port, {"jsonrpc": "2.0", "id": 1,
+                                    "method": "eth_subscribe",
+                                    "params": ["newHeads"]})
+        assert status == 200
+        assert reply["error"]["code"] == -32004
+        assert "/ws" in reply["error"]["message"]
+
+    def test_dev_fund_account_credits_over_the_wire(self, port):
+        status, reply = post(port, {
+            "jsonrpc": "2.0", "id": 1, "method": "dev_fundAccount",
+            "params": ["0x" + "11" * 20, 1000]})
+        assert status == 200
+        assert int(reply["result"], 16) == 1000
+
+    def test_server_status_reports_config_and_stats(self, port):
+        status, reply = post(port, {"jsonrpc": "2.0", "id": 1,
+                                    "method": "net_serverStatus", "params": []})
+        assert status == 200
+        document = reply["result"]
+        assert document["draining"] is False
+        assert document["config"]["max_batch"] == 100
+        assert document["stats"]["connections_total"] >= 1
+
+
+class TestLimitsAndDrain:
+    def test_connection_limit_rejects_with_503(self):
+        server = make_server(max_connections=1)
+        with ServerThread(server):
+            first = http.client.HTTPConnection("127.0.0.1", server.port,
+                                               timeout=10)
+            try:
+                # Occupy the only slot with an in-flight keep-alive socket.
+                first.request("POST", "/", body=json.dumps(
+                    {"jsonrpc": "2.0", "id": 1,
+                     "method": "eth_blockNumber", "params": []}))
+                first.getresponse().read()
+                second = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                    timeout=10)
+                try:
+                    second.request("GET", "/healthz")
+                    assert second.getresponse().status == 503
+                finally:
+                    second.close()
+            finally:
+                first.close()
+
+    def test_graceful_shutdown_logs_completion(self):
+        lines = []
+        server = build_serve_stack(
+            NetConfig(port=0, block_interval_seconds=0), logger=lines.append)
+        thread = ServerThread(server)
+        thread.start()
+        post(server.port, {"jsonrpc": "2.0", "id": 1,
+                           "method": "eth_blockNumber", "params": []})
+        thread.stop()
+        assert any("graceful shutdown complete" in line for line in lines)
+
+    def test_producer_mines_pending_transactions(self):
+        server = make_server(block_interval_seconds=0.02)
+        with ServerThread(server):
+            port = server.port
+            _, fund = post(port, {
+                "jsonrpc": "2.0", "id": 1, "method": "dev_fundAccount",
+                "params": ["0x" + "22" * 20]})
+            assert "result" in fund
+            from repro.chain.account import Address
+            from repro.chain.keys import KeyPair
+            from repro.chain.transaction import Transaction
+
+            keypair = KeyPair.from_label("net-producer-test")
+            post(port, {"jsonrpc": "2.0", "id": 2, "method": "dev_fundAccount",
+                        "params": [keypair.address]})
+            tx = Transaction(sender=Address(keypair.address),
+                             to=Address("0x" + "33" * 20), value=1, nonce=0,
+                             gas_limit=21_000, gas_price=10**9).sign(keypair)
+            _, sent = post(port, {"jsonrpc": "2.0", "id": 3,
+                                  "method": "eth_sendRawTransaction",
+                                  "params": [tx.serialize_raw()]})
+            import time
+            deadline = time.time() + 10
+            receipt = None
+            while time.time() < deadline and not receipt:
+                _, reply = post(port, {"jsonrpc": "2.0", "id": 4,
+                                       "method": "eth_getTransactionReceipt",
+                                       "params": [sent["result"]]})
+                receipt = reply.get("result")
+                time.sleep(0.02)
+            assert receipt, "producer never mined the pending transfer"
+
+
+class TestServeStack:
+    def test_store_with_cluster_is_rejected(self, tmp_path):
+        with pytest.raises(NetworkError):
+            build_serve_stack(NetConfig(port=0), cluster=3,
+                              store=str(tmp_path))
+
+    def test_cluster_stack_serves_rpc(self):
+        server = build_serve_stack(NetConfig(port=0, block_interval_seconds=0),
+                                   cluster=3)
+        with ServerThread(server):
+            status, reply = post(server.port, {
+                "jsonrpc": "2.0", "id": 1,
+                "method": "eth_blockNumber", "params": []})
+        assert status == 200
+        assert reply["result"] == "0x0"
+
+    def test_gateway_without_a_node_is_rejected(self):
+        from repro.rpc.gateway import JsonRpcGateway
+
+        with pytest.raises(NetworkError):
+            RpcHttpServer(JsonRpcGateway())

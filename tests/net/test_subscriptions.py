@@ -1,0 +1,134 @@
+"""SubscriptionManager units: install, pump, cancel, clear."""
+
+import pytest
+
+from repro.chain import EthereumNode, Faucet, KeyPair
+from repro.chain.account import Address
+from repro.chain.events import LogFilter
+from repro.chain.transaction import Transaction, encode_call, encode_create
+from repro.contracts import default_registry
+from repro.net import SUBSCRIPTION_KINDS, SubscriptionManager
+from repro.rpc.protocol import INVALID_PARAMS, JsonRpcError
+from repro.utils.units import ether_to_wei
+
+ALICE = KeyPair.from_label("net-subs-alice")
+
+
+@pytest.fixture()
+def node():
+    node = EthereumNode(backend=default_registry())
+    Faucet(node).drip(ALICE.address, ether_to_wei(5))
+    return node
+
+
+def send_transfer(node, nonce):
+    tx = Transaction(sender=Address(ALICE.address),
+                     to=Address("0x" + "44" * 20), value=1, nonce=nonce,
+                     gas_limit=21_000, gas_price=10**9).sign(ALICE)
+    return node.send_transaction(tx)
+
+
+def deploy_cid_storage(node):
+    deploy = Transaction(
+        sender=Address(ALICE.address), to=None,
+        data=encode_create("CidStorage", []),
+        nonce=node.pending_nonce(ALICE.address),
+        gas_limit=3_000_000, gas_price=10**9,
+    ).sign(ALICE)
+    tx_hash = node.send_transaction(deploy)
+    node.mine(1)
+    return str(node.get_receipt(tx_hash).contract_address)
+
+
+def upload_cid(node, contract, cid):
+    tx = Transaction(
+        sender=Address(ALICE.address), to=Address(contract),
+        data=encode_call("uploadCid", [cid]),
+        nonce=node.pending_nonce(ALICE.address),
+        gas_limit=1_000_000, gas_price=10**9,
+    ).sign(ALICE)
+    node.send_transaction(tx)
+    node.mine(1)
+
+
+class TestInstallAndCancel:
+    def test_ids_are_sequential_hex(self, node):
+        manager = SubscriptionManager(node)
+        assert manager.subscribe("newHeads") == "0x1"
+        assert manager.subscribe("newPendingTransactions") == "0x2"
+        assert len(manager) == 2
+
+    def test_every_documented_kind_installs(self, node):
+        manager = SubscriptionManager(node)
+        for kind in SUBSCRIPTION_KINDS:
+            manager.subscribe(kind)
+        assert manager.kinds() == {"newHeads": 1,
+                                   "newPendingTransactions": 1, "logs": 1}
+
+    def test_unknown_kind_is_invalid_params(self, node):
+        manager = SubscriptionManager(node)
+        with pytest.raises(JsonRpcError) as excinfo:
+            manager.subscribe("newSideChains")
+        assert excinfo.value.code == INVALID_PARAMS
+
+    def test_unsubscribe_reports_existence(self, node):
+        manager = SubscriptionManager(node)
+        sub_id = manager.subscribe("newHeads")
+        assert manager.unsubscribe(sub_id) is True
+        assert manager.unsubscribe(sub_id) is False
+        assert manager.unsubscribe("0xdead") is False
+
+    def test_clear_drops_everything_and_counts(self, node):
+        manager = SubscriptionManager(node)
+        manager.subscribe("newHeads")
+        manager.subscribe("logs")
+        assert manager.clear() == 2
+        assert len(manager) == 0
+        assert manager.kinds() == {}
+
+
+class TestPump:
+    def test_fresh_subscription_starts_at_the_current_cursor(self, node):
+        node.mine(3)
+        manager = SubscriptionManager(node)
+        manager.subscribe("newHeads")
+        assert manager.pump() == []  # history is not replayed
+
+    def test_new_heads_pushes_one_payload_per_block(self, node):
+        manager = SubscriptionManager(node)
+        sub_id = manager.subscribe("newHeads")
+        node.mine(3)
+        events = manager.pump()
+        assert [event[0] for event in events] == [sub_id] * 3
+        numbers = [event[1]["header"]["number"] for event in events]
+        assert numbers == [1, 2, 3]
+        assert manager.pump() == []  # cursor advanced
+
+    def test_pending_transactions_push_hashes(self, node):
+        manager = SubscriptionManager(node)
+        sub_id = manager.subscribe("newPendingTransactions")
+        tx_hash = send_transfer(node, nonce=0)
+        assert manager.pump() == [(sub_id, tx_hash)]
+        assert manager.pump() == []
+
+    def test_logs_push_matching_log_objects(self, node):
+        contract = deploy_cid_storage(node)
+        manager = SubscriptionManager(node)
+        all_logs = manager.subscribe("logs")
+        elsewhere = manager.subscribe(
+            "logs", criteria=LogFilter(address=Address("0x" + "55" * 20)))
+        upload_cid(node, contract, "bafy-subs-1")
+        events = manager.pump()
+        assert [event[0] for event in events] == [all_logs]
+        assert events[0][1]["address"] == contract
+        assert manager.pump() == []
+        assert elsewhere in manager._subs  # filtered out, still installed
+
+    def test_events_total_accumulates_across_pumps(self, node):
+        manager = SubscriptionManager(node)
+        manager.subscribe("newHeads")
+        node.mine(2)
+        manager.pump()
+        node.mine(1)
+        manager.pump()
+        assert manager.events_total == 3
