@@ -1,0 +1,307 @@
+"""Batch Schnorr verification with a random-linear-combination check.
+
+The scalar path (``repro.chain.keys.verify_signature``) reconstructs each
+signature's commitment ``r = g^s * (y^-1)^e`` and checks that the carried
+challenge ``e`` equals ``H(r || m)``.  The expensive part is the per-sender
+exponentiation ``(y^-1)^e`` -- a fresh ~256-bit square-and-multiply chain per
+signature.  The batch verifier removes that cost for the common case:
+
+* per-sender inverses are filled with **one** Montgomery batch inversion
+  (:func:`repro.chain.keys.prime_inverses`);
+* each ``(y^-1)^e`` runs through a per-key fixed-base comb (the same lazy-row
+  table as the generator's, built once a sender repeats), so warm senders pay
+  table lookups instead of squaring chains;
+* the whole batch of reconstructed commitments is then validated by **one
+  random-linear-combination check**: with random coefficients ``z_i`` drawn
+  over ``GROUP_ORDER``, the equation
+
+      g^(sum z_i * s_i mod q)  ==  prod r_i^z_i  *  prod_y y^(sum z_i * e_i)
+
+  holds identically when every ``r_i`` was reconstructed correctly, and a
+  single wrong commitment makes it fail except with probability ~2^-128 over
+  the coefficients.  The right-hand side is one Shamir/Straus simultaneous
+  multi-exponentiation across the per-sender public keys (grouped, so K
+  distinct senders cost K wide exponents, not N) plus the commitments; the
+  left-hand side reuses the generator's fixed-base comb.
+
+The RLC is an integrity gate for the optimised arithmetic, not the verdict:
+per-signature accept/reject still comes from the exact challenge hash check,
+byte-identical to the scalar path.  If the RLC fails, deterministic bisection
+(midpoint splits, same coefficients) isolates the affected signatures and
+re-verifies them with the scalar ``verify_signature`` -- so per-tx verdicts
+and error attribution are byte-identical to the scalar path even when every
+optimisation above is distrusted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.chain.account import Address
+from repro.chain.keys import (
+    GROUP_ORDER,
+    GROUP_PRIME,
+    Signature,
+    _FixedBaseComb,
+    _GENERATOR_COMB,
+    _hash_to_int,
+    _int_to_bytes,
+    _inverse_of,
+    address_from_public_key,
+    prime_inverses,
+    to_checksum_address,
+    verify_signature,
+)
+from repro.utils.cache import LRUCache
+from repro.utils.hashing import keccak256
+
+from repro.batchverify.multiexp import simultaneous_multiexp
+
+#: One verify item: (signature, 32-byte message hash, optional address).
+VerifyItem = Tuple[Signature, bytes, Optional[str]]
+
+#: Bits of each random linear-combination coefficient.  128 random bits give
+#: a ~2^-128 false-accept bound for the aggregated equation -- the same
+#: margin batch Ed25519 verifiers use -- while keeping the per-commitment
+#: Straus cost to 32 four-bit windows instead of 512.
+COEFFICIENT_BITS = 128
+
+#: A sender's inverse is promoted to a fixed-base comb table after this many
+#: sightings.  One-shot (often hostile) keys stay on the builtin ``pow`` --
+#: building a table for a key never seen again would cost ~3x a scalar
+#: verify -- while real senders, who repeat, go table-fast from their second
+#: signature on.
+COMB_PROMOTION_THRESHOLD = 2
+
+#: Distinct senders whose comb tables are kept alive (LRU).  Each warm table
+#: is worth a few hundred KiB, so the cap bounds worst-case memory at tens
+#: of MiB while covering far more senders than a block ever carries.
+COMB_CACHE_KEYS = 96
+
+
+class VerifierStats:
+    """Counters for one verifier instance (worker- or coordinator-side)."""
+
+    FIELDS = (
+        "signatures", "batches", "fast_path", "precheck_rejects",
+        "scalar_routed", "rlc_checks", "rlc_failures", "bisections",
+        "scalar_fallbacks", "comb_builds", "comb_powers",
+    )
+
+    def __init__(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def to_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def merge(self, delta: Dict[str, int]) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, getattr(self, field) + int(delta.get(field, 0)))
+
+
+class BatchVerifier:
+    """Verifies batches of Schnorr signatures, scalar-equivalent by design."""
+
+    def __init__(self) -> None:
+        self.stats = VerifierStats()
+        #: public key -> [sightings, comb table or None].  LRU-bounded so a
+        #: stream of distinct senders cannot grow table memory without limit.
+        self._combs = LRUCache(capacity=COMB_CACHE_KEYS)
+
+    # -- public API ---------------------------------------------------------
+
+    def comb_cache(self) -> LRUCache:
+        """The per-sender comb cache (for obs cache-stats registration)."""
+        return self._combs
+
+    def verify_batch(self, items: Sequence[VerifyItem]) -> List[bool]:
+        """Per-item verdicts, byte-identical to scalar ``verify_signature``."""
+        self.stats.batches += 1
+        self.stats.signatures += len(items)
+        verdicts: List[Optional[bool]] = [None] * len(items)
+        fast: List[int] = []
+        for index, (signature, message_hash, _) in enumerate(items):
+            if len(message_hash) != 32:
+                # Scalar verify raises on malformed hashes; so does the batch.
+                raise ValueError("verify expects a 32-byte message hash")
+            y = signature.public_key
+            if not (1 < y < GROUP_PRIME):
+                verdicts[index] = False
+                self.stats.precheck_rejects += 1
+            elif not (0 <= signature.e < GROUP_ORDER):
+                # The scalar path compares the carried challenge against a
+                # hash reduced mod GROUP_ORDER: an out-of-range challenge can
+                # never match, so the verdict is False without any math.
+                verdicts[index] = False
+                self.stats.precheck_rejects += 1
+            elif signature.s < 0:
+                # Negative responses are representable (never emitted by the
+                # signer) and may still verify mod the group order; route the
+                # oddball straight to the scalar path rather than special-
+                # casing it here.
+                verdicts[index] = self._scalar_verdict(items[index])
+                self.stats.scalar_routed += 1
+            else:
+                fast.append(index)
+
+        if fast:
+            self.stats.fast_path += len(fast)
+            prime_inverses(items[i][0].public_key for i in fast)
+            commitments = {i: self._reconstruct_commitment(items[i][0])
+                           for i in fast}
+            coefficients = self._coefficients([items[i] for i in fast])
+            self._settle(items, fast, commitments,
+                         dict(zip(fast, coefficients)), verdicts)
+        return [bool(v) for v in verdicts]
+
+    def verify_transactions(
+            self, jobs: Sequence[Tuple[Dict[str, Any], bytes, str]]) -> List[bool]:
+        """Batch form of ``repro.parallel.verify._verify_job``.
+
+        Each job is ``(signature dict, tx hash bytes, sender address)``; the
+        verdict matches the scalar job exactly: the signature must verify and
+        its public key must hash to the claimed sender.
+        """
+        signatures = [Signature.from_dict(sig_dict) for sig_dict, _, _ in jobs]
+        items: List[VerifyItem] = [
+            (signature, tx_hash, None)
+            for signature, (_, tx_hash, _) in zip(signatures, jobs)
+        ]
+        verdicts = self.verify_batch(items)
+        return [
+            verdict and Address(address_from_public_key(signature.public_key))
+            == Address(sender)
+            for verdict, signature, (_, _, sender)
+            in zip(verdicts, signatures, jobs)
+        ]
+
+    # -- fast path ----------------------------------------------------------
+
+    def _reconstruct_commitment(self, signature: Signature) -> int:
+        """``r = g^s * (y^-1)^e`` via the comb tables (exact group element)."""
+        gs = _GENERATOR_COMB.pow(signature.s)
+        return gs * self._inverse_power(
+            signature.public_key, signature.e) % GROUP_PRIME
+
+    def _inverse_power(self, public_key: int, exponent: int) -> int:
+        """``(y^-1)^e`` through the per-key comb once the sender repeats."""
+        entry = self._combs.get(public_key)
+        if entry is None:
+            entry = [0, None]
+            self._combs.put(public_key, entry)
+        entry[0] += 1
+        inverse = _inverse_of(public_key)
+        if entry[1] is None and entry[0] >= COMB_PROMOTION_THRESHOLD:
+            entry[1] = _FixedBaseComb(inverse, GROUP_PRIME, window_bits=4)
+            self.stats.comb_builds += 1
+        if entry[1] is not None:
+            self.stats.comb_powers += 1
+            return entry[1].pow(exponent)
+        return pow(inverse, exponent, GROUP_PRIME)
+
+    def _coefficients(self, fast_items: Sequence[VerifyItem]) -> List[int]:
+        """Deterministic random coefficients over ``GROUP_ORDER``.
+
+        Derived by hashing the whole batch transcript (every signature and
+        message), so they are unpredictable functions of the batch content,
+        reproducible across replicas and processes, and independent of any
+        per-process RNG state -- determinism the serial-equivalence pins
+        rely on.  Each coefficient is in ``[1, 2^128]``, a subset of
+        ``[1, GROUP_ORDER)``.
+        """
+        transcript = keccak256(b"".join(
+            keccak256(_int_to_bytes(signature.e) + _int_to_bytes(signature.s)
+                      + _int_to_bytes(signature.public_key) + message_hash)
+            for signature, message_hash, _ in fast_items
+        ))
+        return [
+            1 + int.from_bytes(
+                keccak256(b"oflw3-batchverify-rlc" + transcript
+                          + index.to_bytes(8, "big"))[:COEFFICIENT_BITS // 8],
+                "big")
+            for index in range(len(fast_items))
+        ]
+
+    def _rlc_holds(self, items: Sequence[VerifyItem], indices: Sequence[int],
+                   commitments: Dict[int, int],
+                   coefficients: Dict[int, int]) -> bool:
+        """The aggregated check over one subset of the batch."""
+        self.stats.rlc_checks += 1
+        response_sum = 0
+        per_key_exponents: Dict[int, int] = {}
+        pairs: List[Tuple[int, int]] = []
+        for index in indices:
+            signature = items[index][0]
+            z = coefficients[index]
+            response_sum += z * signature.s
+            per_key_exponents[signature.public_key] = (
+                per_key_exponents.get(signature.public_key, 0)
+                + z * signature.e)
+            pairs.append((commitments[index], z))
+        # The generator's order divides GROUP_ORDER (pinned by the hot-path
+        # suite), so reducing its exponent is exact.  Public keys are
+        # attacker-supplied and may live outside the quadratic-residue
+        # subgroup, so their aggregated exponents are used as-is.
+        pairs.extend(per_key_exponents.items())
+        lhs = _GENERATOR_COMB.pow(response_sum % GROUP_ORDER)
+        rhs = simultaneous_multiexp(pairs, GROUP_PRIME)
+        return lhs == rhs
+
+    def _settle(self, items: Sequence[VerifyItem], indices: List[int],
+                commitments: Dict[int, int], coefficients: Dict[int, int],
+                verdicts: List[Optional[bool]]) -> None:
+        """Fill verdicts for ``indices``: RLC-gated fast path or bisection."""
+        if self._rlc_holds(items, indices, commitments, coefficients):
+            for index in indices:
+                verdicts[index] = self._challenge_verdict(
+                    items[index], commitments[index])
+            return
+        self.stats.rlc_failures += 1
+        if len(indices) == 1:
+            # The reconstructed commitment itself is suspect: recompute from
+            # scratch on the scalar path, which is authoritative.
+            verdicts[indices[0]] = self._scalar_verdict(items[indices[0]])
+            self.stats.scalar_fallbacks += 1
+            return
+        self.stats.bisections += 1
+        midpoint = len(indices) // 2
+        self._settle(items, indices[:midpoint], commitments, coefficients,
+                     verdicts)
+        self._settle(items, indices[midpoint:], commitments, coefficients,
+                     verdicts)
+
+    def _challenge_verdict(self, item: VerifyItem, commitment: int) -> bool:
+        """The scalar path's hash and address checks over a commitment."""
+        signature, message_hash, address = item
+        expected_challenge = _hash_to_int(
+            _int_to_bytes(commitment), message_hash)
+        if expected_challenge != signature.e:
+            return False
+        if address is not None and address_from_public_key(
+                signature.public_key) != to_checksum_address(address):
+            return False
+        return True
+
+    def _scalar_verdict(self, item: VerifyItem) -> bool:
+        signature, message_hash, address = item
+        return verify_signature(signature, message_hash, address)
+
+
+#: Process-wide default verifier: comb tables and sighting counters are only
+#: useful when they persist across batches, so inline verification and the
+#: worker processes each share one instance per process.
+_DEFAULT_VERIFIER: Optional[BatchVerifier] = None
+
+
+def default_verifier() -> BatchVerifier:
+    """The process-wide :class:`BatchVerifier` (created on first use)."""
+    global _DEFAULT_VERIFIER
+    if _DEFAULT_VERIFIER is None:
+        _DEFAULT_VERIFIER = BatchVerifier()
+    return _DEFAULT_VERIFIER
+
+
+def batch_verify_signatures(items: Sequence[VerifyItem]) -> List[bool]:
+    """Verify ``(signature, message_hash, address)`` items as one batch."""
+    return default_verifier().verify_batch(items)

@@ -129,6 +129,7 @@ class Blockchain:
         genesis_timestamp: Optional[float] = None,
         store: Optional["ChainStoreHooks"] = None,
         parallel_execution: Optional[Any] = None,
+        batch_verify: Optional[Any] = None,
     ) -> None:
         self.config = config or ChainConfig()
         self.clock = clock or SimulatedClock()
@@ -177,8 +178,15 @@ class Blockchain:
         #: serial loop, gated by the same single-attribute idiom as ``store``
         #: / ``_fork`` / ``obs`` above.  See :meth:`enable_parallel_execution`.
         self.parallel: Optional[Any] = None
+        #: Optional deferred batch signature verification
+        #: (``repro.batchverify``).  ``None`` -- the seed default -- verifies
+        #: every signature scalar-fashion at submission; same gating idiom
+        #: as the attributes above.  See :meth:`enable_batch_verify`.
+        self.batchverify: Optional[Any] = None
         if parallel_execution is not None:
             self.enable_parallel_execution(parallel_execution)
+        if batch_verify is not None:
+            self.enable_batch_verify(batch_verify)
 
     # -- chain accessors -----------------------------------------------------
 
@@ -298,12 +306,44 @@ class Blockchain:
 
     def submit_transaction(self, tx: Transaction) -> str:
         """Validate and queue a signed transaction; returns its hash."""
+        if self.batchverify is not None:
+            return self._submit_transaction_deferred(tx)
         if self.obs is not None:
             return self._submit_transaction_observed(tx)
         self.executor.validate(tx, self.state, check_nonce=False)
         tx_hash = self.mempool.add(tx)
         if self.store is not None:
             self.store.record_transaction(tx)
+        return tx_hash
+
+    def _submit_transaction_deferred(self, tx: Transaction) -> str:
+        """Batch-verify submission: structural checks now, Schnorr at settle.
+
+        The engine's :meth:`~repro.batchverify.BatchVerifyEngine.
+        admission_check` raises the scalar path's exact
+        ``InvalidSignatureError`` for anything decidable without the
+        expensive exponentiation; transactions that pass are queued
+        unverified and settled (or evicted) as one batch at the top of the
+        next block production.  Funds/gas validation is unchanged.
+        """
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tx_span("tx.submit", tx.hash_hex,
+                               replica=self.obs_label)
+        try:
+            self.batchverify.admission_check(tx)
+            self.executor.validate(tx, self.state, check_nonce=False,
+                                   check_signature=False)
+            tx_hash = self.mempool.add(tx, verify=False)
+            if self.store is not None:
+                self.store.record_transaction(tx)
+        except ReproError:
+            if span is not None:
+                obs.end(span, status="rejected")
+            raise
+        if span is not None:
+            obs.end(span)
         return tx_hash
 
     def _submit_transaction_observed(self, tx: Transaction) -> str:
@@ -390,6 +430,8 @@ class Blockchain:
         slot = self.consensus.slot_at(timestamp)
         proposer = self.consensus.proposer_for_slot(slot)
 
+        if self.batchverify is not None:
+            self._settle_deferred_verifies()
         if self.parallel is not None:
             candidates = self.mempool.select_for_block(
                 self.state, self.config.block_gas_limit,
@@ -403,6 +445,15 @@ class Blockchain:
             coinbase=proposer,
             gas_price=0,
         )
+        if self.batchverify is not None:
+            # Pipeline: verify next block's candidates (everything pending
+            # but not selected) on the worker pool while this block
+            # executes and persists below.  Joined at the next settle.
+            selected = {tx.hash_hex for tx in candidates}
+            self.batchverify.kick([
+                tx for tx in self.mempool.pending()
+                if tx.hash_hex not in selected
+            ])
         if self.parallel is not None:
             included, receipts, cumulative_gas = (
                 self._execute_transactions_parallel(candidates, block_ctx))
@@ -423,6 +474,27 @@ class Blockchain:
         block = Block(header=header, transactions=included, receipts=receipts)
         self._append_block(block)
         return block
+
+    def _settle_deferred_verifies(self) -> None:
+        """Resolve every deferred signature verdict; evict the failures.
+
+        Runs *before* mempool selection, so selection sees exactly the
+        valid set the scalar path would have admitted (in arrival order) --
+        the step that keeps batch-produced blocks fingerprint-identical to
+        serial ones.  The engine's fallback ladder guarantees the verdicts
+        are authoritative even when the batch path itself failed.
+        """
+        pending = self.mempool.pending()
+        if not pending:
+            self.batchverify.settle(pending)
+            return
+        if self.obs is not None:
+            with self.obs.phase("chain.batch_verify"):
+                invalid = self.batchverify.settle(pending)
+        else:
+            invalid = self.batchverify.settle(pending)
+        for tx in invalid:
+            self.mempool.remove(tx.hash_hex)
 
     def _execute_transactions(self, transactions, block_ctx: BlockContext):
         """Execute an ordered transaction list against current state.
@@ -689,6 +761,36 @@ class Blockchain:
             return ParallelStats().to_dict()
         return self.parallel.stats.to_dict()
 
+    def enable_batch_verify(self, config: Any = None) -> None:
+        """Turn on deferred batch signature verification (``repro.batchverify``).
+
+        ``config`` is a :class:`~repro.batchverify.BatchVerifyConfig`, a
+        verify-worker count (int), or ``None`` for the defaults.  Idempotent
+        (a second call replaces the engine).  Only *submission and
+        production* change: replay, import and reorg re-execution verify
+        scalar-fashion, so a follower re-checks a batch-produced block on
+        the authoritative path.
+        """
+        # Imported lazily: repro.batchverify imports the chain package, so
+        # the chain must not import it at module load (same as parallel).
+        from repro.batchverify import BatchVerifyConfig, BatchVerifyEngine
+
+        if isinstance(config, int):
+            config = BatchVerifyConfig(verify_workers=config)
+        elif config is None:
+            config = BatchVerifyConfig()
+        if self.batchverify is not None:
+            self.batchverify.close()
+        self.batchverify = BatchVerifyEngine(config)
+
+    def batchverify_stats(self) -> Dict[str, Any]:
+        """Batch/pipeline counters (config + zeroes when disabled)."""
+        if self.batchverify is None:
+            from repro.batchverify import BatchVerifyConfig, BatchVerifyEngine
+
+            return BatchVerifyEngine(BatchVerifyConfig()).stats
+        return self.batchverify.stats
+
     def knows_block(self, block_hash: str) -> bool:
         """Whether ``block_hash`` is a known canonical *or* side block."""
         if block_hash in self._blocks_by_hash:
@@ -943,6 +1045,13 @@ class Blockchain:
         while True:
             if count is not None and len(produced) >= count:
                 break
+            if until_empty and self.batchverify is not None \
+                    and len(self.mempool) > 0:
+                # Deferred admission can leave *only* doomed transactions
+                # pending; settle and evict them now so a drain loop does
+                # not mine an empty block (the serial path, which rejected
+                # them at submit, would already see an empty mempool).
+                self._settle_deferred_verifies()
             if until_empty and (len(self.mempool) == 0 or len(produced) >= max_blocks):
                 break
             if count is None and not until_empty:

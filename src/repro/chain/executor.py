@@ -144,9 +144,16 @@ class TransactionExecutor:
 
     # -- validation ---------------------------------------------------------
 
-    def validate(self, tx: Transaction, state: WorldState, check_nonce: bool = True) -> None:
-        """Raise if ``tx`` cannot be included against ``state``."""
-        if tx.signature is None or not tx.verify_signature():
+    def validate(self, tx: Transaction, state: WorldState, check_nonce: bool = True,
+                 check_signature: bool = True) -> None:
+        """Raise if ``tx`` cannot be included against ``state``.
+
+        ``check_signature=False`` skips the Schnorr verify (the most
+        expensive step): deferred batch verification (``repro.batchverify``)
+        has already structurally vetted the transaction at submission and
+        settles the real verdict as one batch at block production.
+        """
+        if check_signature and (tx.signature is None or not tx.verify_signature()):
             raise InvalidSignatureError(f"transaction {tx.hash_hex} is not properly signed")
         if check_nonce:
             expected = state.nonce_of(tx.sender)

@@ -50,8 +50,13 @@ class Mempool:
     def __contains__(self, tx_hash: str) -> bool:
         return tx_hash in self._pending
 
-    def add(self, tx: Transaction) -> str:
+    def add(self, tx: Transaction, verify: bool = True) -> str:
         """Queue a signed transaction; returns its hash.
+
+        ``verify=False`` admits the transaction without the Schnorr check
+        (it must still carry *a* signature): deferred batch verification
+        settles the verdict at block production and evicts failures before
+        selection ever sees them.
 
         Raises
         ------
@@ -61,7 +66,7 @@ class Mempool:
         """
         if len(self._pending) >= self.max_size:
             raise MempoolError(f"mempool full ({self.max_size} transactions)")
-        if tx.signature is None or not tx.verify_signature():
+        if tx.signature is None or (verify and not tx.verify_signature()):
             raise MempoolError("refusing to queue an unsigned or badly signed transaction")
         tx_hash = tx.hash_hex
         if tx_hash in self._pending:

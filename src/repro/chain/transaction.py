@@ -198,6 +198,20 @@ class Transaction:
         object.__setattr__(self, "_verified_signature", signature)
         return verdict
 
+    def verify_job(self) -> tuple:
+        """Picklable ``(signature dict, tx hash, sender)`` verify job.
+
+        The wire format shared by the out-of-process verifiers
+        (``repro.parallel.verify``, ``repro.batchverify``): a worker that
+        rebuilds the signature and checks it against the hash and sender
+        reproduces :meth:`verify_signature` exactly.  Raises when unsigned
+        -- an unsigned transaction has no job to farm out.
+        """
+        if self.signature is None:
+            raise InvalidSignatureError(
+                f"transaction {self.hash_hex} is unsigned")
+        return (self.signature.to_dict(), self.hash, str(self.sender))
+
     # -- gas ----------------------------------------------------------------
 
     def intrinsic_gas(self, schedule: GasSchedule = SEPOLIA_GAS_SCHEDULE) -> int:

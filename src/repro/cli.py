@@ -162,6 +162,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="produce blocks with W-worker wave-parallel "
                                   "execution (repro.parallel); default: the "
                                   "serial block loop")
+    load_parser.add_argument("--batch-verify", type=int, nargs="?", const=4,
+                             default=None, metavar="W",
+                             help="batch Schnorr verification with pipelined "
+                                  "block production (repro.batchverify): "
+                                  "defer signature checks to one RLC-gated "
+                                  "batch per block on W verify workers "
+                                  "(default W: 4; 0 = inline batches); "
+                                  "default: scalar verify at submission")
     load_parser.add_argument("--seed", type=int, default=7,
                              help="deterministic seed for arrivals and skew")
     load_parser.add_argument("--sweep", default=None, metavar="RATES",
@@ -211,6 +219,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--parallel", type=int, default=None, metavar="W",
                               help="produce blocks with W-worker "
                                    "wave-parallel execution")
+    serve_parser.add_argument("--batch-verify", type=int, nargs="?", const=4,
+                              default=None, metavar="W",
+                              help="batch Schnorr verification with W verify "
+                                   "workers (default W: 4; 0 = inline "
+                                   "batches)")
     serve_parser.add_argument("--store", default=None, metavar="DIR",
                               help="persist the chain (WAL + snapshots) "
                                    "under DIR (single node only)")
@@ -507,6 +520,7 @@ def _command_loadgen(args: argparse.Namespace) -> int:
             rate_limit=args.rate_limit,
             cluster=args.cluster,
             parallel=args.parallel,
+            batch_verify=args.batch_verify,
             seed=args.seed,
             **({"mix": mix} if mix is not None else {}),
         )
@@ -596,6 +610,7 @@ def _command_serve(args: argparse.Namespace) -> int:
             config,
             cluster=args.cluster,
             parallel=args.parallel,
+            batch_verify=args.batch_verify,
             store=args.store,
             obs=args.obs,
             seed=args.seed,

@@ -101,6 +101,12 @@ class LoadGenConfig:
     under a cluster the *leader* executes in waves and followers re-verify
     serially.  ``None`` -- the default -- keeps the serial block loop."""
 
+    batch_verify: Optional[int] = None
+    """Verify-worker count for deferred batch Schnorr verification with
+    pipelined block production (``repro.batchverify``); ``0`` settles
+    batches inline on the coordinator.  ``None`` -- the default -- verifies
+    scalar-fashion at submission."""
+
     max_events: int = 2_000_000
     receipt_timeout_polls: int = 1_000
 
@@ -134,6 +140,14 @@ class LoadGenConfig:
         if self.parallel is not None and self.parallel < 1:
             raise SimulationError(
                 f"parallel needs at least 1 worker, got {self.parallel}")
+        if self.batch_verify is not None and self.batch_verify < 0:
+            raise SimulationError(
+                f"batch_verify needs >= 0 workers, got {self.batch_verify}")
+        if self.batch_verify is not None and self.cluster is not None:
+            raise SimulationError(
+                "batch_verify is a single-node knob; replicas re-verify "
+                "blocks on the scalar path, so combine it with cluster "
+                "once replicated deferred admission lands")
 
     def with_overrides(self, **kwargs) -> "LoadGenConfig":
         return replace(self, **kwargs)
@@ -154,6 +168,7 @@ class LoadGenConfig:
             "rate_limit": self.rate_limit,
             "cluster": self.cluster,
             "parallel": self.parallel,
+            "batch_verify": self.batch_verify,
         }
 
 
@@ -207,6 +222,11 @@ class LoadGenerator:
                 "parallel is a standalone-stack knob; an attached load "
                 "generator drives the scenario's own node -- enable it there "
                 "via EthereumNode(parallel_execution=...) instead")
+        if attached and config.batch_verify is not None:
+            raise SimulationError(
+                "batch_verify is a standalone-stack knob; an attached load "
+                "generator drives the scenario's own node -- enable it there "
+                "via EthereumNode(batch_verify=...) instead")
         self._cluster = None
         if not attached:
             clock = SimulatedClock()
@@ -223,7 +243,8 @@ class LoadGenerator:
             else:
                 node = EthereumNode(config=ChainConfig(),
                                     backend=default_registry(), clock=clock,
-                                    parallel_execution=config.parallel)
+                                    parallel_execution=config.parallel,
+                                    batch_verify=config.batch_verify)
             faucet = Faucet(node)
             swarm = Swarm(clock=clock)
             middleware = []
@@ -599,6 +620,7 @@ class LoadGenerator:
             rpc_stats=metrics.snapshot(include_latency=False) if metrics else None,
             obs_stats=self.obs.stats_dict() if self.obs is not None else None,
             parallel_stats=self._parallel_stats(),
+            batchverify_stats=self._batchverify_stats(),
         )
         return report
 
@@ -611,6 +633,13 @@ class LoadGenerator:
             "config": chain.parallel.config.to_dict(),
             "stats": chain.parallel_stats(),
         }
+
+    def _batchverify_stats(self) -> Optional[Dict[str, Any]]:
+        """Batch/pipeline counters when the chain deferred verification."""
+        chain = getattr(self.node, "chain", None)
+        if chain is None or getattr(chain, "batchverify", None) is None:
+            return None
+        return chain.batchverify_stats()
 
     def run(self) -> LoadReport:
         """Standalone: install, drain the event queue, report."""
@@ -666,7 +695,8 @@ def presigned_transfers(num_txs: int, num_senders: int, label: str,
 def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
                       seed: int = 7,
                       cluster: Optional[int] = None,
-                      parallel: Optional[int] = None) -> Dict[str, Any]:
+                      parallel: Optional[int] = None,
+                      batch_verify: Optional[int] = None) -> Dict[str, Any]:
     """Wall-clock tx-ingest throughput: submit pre-signed transfers, mine all.
 
     Signing happens before the clock starts (it is client-side work); the
@@ -690,6 +720,8 @@ def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
                                              f"ingest-{seed}", node=node)
     if parallel is not None and cluster_obj is None:
         node.chain.enable_parallel_execution(parallel)
+    if batch_verify is not None and cluster_obj is None:
+        node.chain.enable_batch_verify(batch_verify)
     started = time.perf_counter()
     if cluster_obj is not None:
         for tx in transactions:
@@ -717,6 +749,9 @@ def measure_tx_ingest(num_txs: int = 500, num_senders: int = 20,
         result["replicated"] = cluster_obj.heads_identical()
     if parallel is not None:
         result["parallel"] = parallel
+    if batch_verify is not None and cluster_obj is None:
+        result["batch_verify"] = batch_verify
+        node.chain.batchverify.close()
     return result
 
 
@@ -745,6 +780,7 @@ def run_sweep(
             float(rate), float(rate) * transfer_weight, report))
     ingest = measure_tx_ingest(num_txs=ingest_txs, seed=config.seed,
                                cluster=config.cluster,
-                               parallel=config.parallel)
+                               parallel=config.parallel,
+                               batch_verify=config.batch_verify)
     return SweepReport(points=points, ingest=ingest,
                        seed_ingest_tps=seed_ingest_tps)

@@ -49,6 +49,10 @@ class LoadReport:
     #: byte-identical to serial runs.  Lives outside ``sim_dict`` because
     #: ``wave_apply_seconds`` is wall-clock.
     parallel_stats: Optional[Dict[str, Any]] = None
+    #: ``chain.batchverify_stats()`` when the driven node deferred signature
+    #: checks to per-block batches; ``None`` keeps saved reports
+    #: byte-identical to scalar-verify runs.
+    batchverify_stats: Optional[Dict[str, Any]] = None
 
     # -- derived -----------------------------------------------------------------
 
@@ -139,6 +143,8 @@ class LoadReport:
             payload["obs"] = self.obs_stats
         if self.parallel_stats is not None:
             payload["parallel"] = dict(self.parallel_stats)
+        if self.batchverify_stats is not None:
+            payload["batch_verify"] = dict(self.batchverify_stats)
         return payload
 
     def summary(self) -> str:
@@ -181,6 +187,17 @@ class LoadReport:
                 f"{stats.get('blocks_parallel', 0)} blocks in waves "
                 f"({stats.get('blocks_serial_fallback', 0)} serial fallbacks), "
                 f"conflict ratio avg {stats.get('conflict_ratio_avg', 0.0):.2f}")
+        if self.batchverify_stats is not None:
+            stats = self.batchverify_stats
+            verifier = stats.get("verifier", {})
+            workers = stats.get("config", {}).get("verify_workers")
+            lines.append(
+                f"batch verify: {workers} workers, "
+                f"{verifier.get('signatures', 0)} signatures in "
+                f"{verifier.get('batches', 0)} batches "
+                f"({stats.get('deferred_rejections', 0)} evicted, "
+                f"{stats.get('pipeline_kicks', 0)} pipeline kicks, "
+                f"{stats.get('overlap_seconds', 0.0):.2f}s overlapped)")
         lines.append(f"blocks produced: {self.blocks_produced}")
         return "\n".join(lines)
 

@@ -732,6 +732,7 @@ def build_serve_stack(
     *,
     cluster: Optional[int] = None,
     parallel: Optional[int] = None,
+    batch_verify: Optional[int] = None,
     store: Optional[str] = None,
     obs: bool = False,
     seed: int = 7,
@@ -755,6 +756,9 @@ def build_serve_stack(
     if cluster is not None and store is not None:
         raise NetworkError("--store is a single-node knob; a cluster's "
                            "replicas own their engines")
+    if cluster is not None and batch_verify is not None:
+        raise NetworkError("--batch-verify is a single-node knob; replicas "
+                           "re-verify blocks on the scalar path")
     clock = SimulatedClock()
     engine = None
     if store is not None:
@@ -773,7 +777,8 @@ def build_serve_stack(
     else:
         node = EthereumNode(config=ChainConfig(), backend=default_registry(),
                             clock=clock, storage=engine,
-                            parallel_execution=parallel)
+                            parallel_execution=parallel,
+                            batch_verify=batch_verify)
     swarm = Swarm(clock=clock)
     ipfs = IpfsNode("serve-ipfs", swarm=swarm)
     gateway = JsonRpcGateway(node=node, swarm=swarm, ipfs=ipfs)

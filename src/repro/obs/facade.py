@@ -104,18 +104,22 @@ class Observability:
     def instrument_node(self, node: Any, label: Optional[str] = None) -> None:
         """Hook a single-node :class:`EthereumNode` (chain + address cache)."""
         from repro.chain.account import checksum_cache
+        from repro.chain.keys import inverse_cache
 
         self.attach_chain(node.chain, label)
         self.register_cache("address_checksum", checksum_cache())
+        self.register_cache("schnorr_inverse", inverse_cache())
 
     def instrument_cluster(self, cluster: Any) -> None:
         """Hook every replica, the gossip layer and cluster chaos events."""
         from repro.chain.account import checksum_cache
+        from repro.chain.keys import inverse_cache
 
         cluster.obs = self
         cluster.gossip.obs = self
         adapters.register_gossip(self.registry, cluster.gossip)
         self.register_cache("address_checksum", checksum_cache())
+        self.register_cache("schnorr_inverse", inverse_cache())
         for replica in cluster.replicas:
             replica.obs = self
             self.attach_chain(replica.chain, replica.name)

@@ -37,6 +37,28 @@ from repro.errors import InvalidSignatureError
 VerifyJob = Tuple[Dict[str, Any], bytes, str]
 
 
+def _batch_verify_jobs(
+        jobs: Sequence[VerifyJob]) -> Tuple[List[bool], Dict[str, int]]:
+    """Worker-side batch verify: one RLC-checked batch per chunk (picklable).
+
+    Runs the chunk through the process-wide :class:`~repro.batchverify.
+    batch.BatchVerifier`, whose per-sender comb tables stay warm across
+    blocks because the pool's worker processes persist.  Returns the per-job
+    verdicts -- byte-identical to mapping :func:`_verify_job` -- plus the
+    verifier's counter delta so the coordinator can aggregate stats that
+    live in other processes.
+    """
+    # Imported lazily: repro.batchverify imports this module for the pool,
+    # so the module level must not import it back.
+    from repro.batchverify.batch import default_verifier
+
+    verifier = default_verifier()
+    before = verifier.stats.to_dict()
+    verdicts = verifier.verify_transactions(jobs)
+    after = verifier.stats.to_dict()
+    return verdicts, {key: after[key] - before[key] for key in after}
+
+
 def _verify_job(job: VerifyJob) -> bool:
     """Worker-side verify: rebuild the signature and check it (picklable).
 
@@ -103,9 +125,7 @@ class SignatureVerifyPool:
         ]
         if not cold:
             return VerifyHandle(cold=[], result=None)
-        jobs: List[VerifyJob] = [
-            (tx.signature.to_dict(), tx.hash, str(tx.sender)) for tx in cold
-        ]
+        jobs: List[VerifyJob] = [tx.verify_job() for tx in cold]
         if self.workers == 0:
             verdicts = [_verify_job(job) for job in jobs]
             for tx, verdict in zip(cold, verdicts):
@@ -113,6 +133,50 @@ class SignatureVerifyPool:
             return VerifyHandle(cold=[], result=None, all_ok=all(verdicts))
         result = self._ensure_pool().map_async(_verify_job, jobs)
         return VerifyHandle(cold=cold, result=result)
+
+    def batch_prewarm_async(
+        self,
+        transactions: Sequence[Transaction],
+        chunk_size: int = 64,
+    ) -> "BatchVerifyHandle":
+        """Kick off *batch* verifies for every cold-memo transaction.
+
+        Like :meth:`prewarm_async`, but each worker receives a whole chunk
+        and settles it with one random-linear-combination check
+        (``repro.batchverify``) instead of N scalar verifies.  Chunks are
+        grouped by sender (first-seen order) so a sender's signatures land
+        on the same worker and hit the same warm comb table; groups are
+        packed up to ``chunk_size`` but never split.
+        """
+        cold: List[Transaction] = [
+            tx for tx in transactions if _memoized_verdict(tx) is None
+        ]
+        if not cold:
+            return BatchVerifyHandle(chunks=[], result=None)
+        if self.workers == 0:
+            jobs = [tx.verify_job() for tx in cold]
+            verdicts, stats = _batch_verify_jobs(jobs)
+            for tx, verdict in zip(cold, verdicts):
+                _stamp(tx, verdict)
+            return BatchVerifyHandle(
+                chunks=[], result=None, all_ok=all(verdicts),
+                stats_delta=stats,
+            )
+        grouped: Dict[str, List[Transaction]] = {}
+        for tx in cold:
+            grouped.setdefault(str(tx.sender), []).append(tx)
+        chunks: List[List[Transaction]] = []
+        current: List[Transaction] = []
+        for group in grouped.values():
+            if current and len(current) + len(group) > chunk_size:
+                chunks.append(current)
+                current = []
+            current.extend(group)
+        if current:
+            chunks.append(current)
+        job_chunks = [[tx.verify_job() for tx in chunk] for chunk in chunks]
+        result = self._ensure_pool().map_async(_batch_verify_jobs, job_chunks)
+        return BatchVerifyHandle(chunks=chunks, result=result)
 
     def close(self) -> None:
         """Tear the worker processes down (no-op when never started)."""
@@ -145,5 +209,40 @@ class VerifyHandle:
             for tx, verdict in zip(self._cold, verdicts):
                 _stamp(tx, verdict)
             self._all_ok = all(verdicts)
+            self._joined = True
+        return self._all_ok
+
+
+class BatchVerifyHandle:
+    """Join point for one pipeline kick's in-flight *batch* verifies."""
+
+    def __init__(
+        self,
+        chunks: List[List[Transaction]],
+        result: Optional["multiprocessing.pool.MapResult"],
+        all_ok: bool = True,
+        stats_delta: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self._chunks = chunks
+        self._result = result
+        self._all_ok = all_ok
+        self._joined = result is None
+        #: Aggregated worker-side verifier counter deltas (merged on join).
+        self.stats_delta: Dict[str, int] = dict(stats_delta or {})
+        #: Verifies actually farmed out to worker processes (stats export).
+        self.jobs_submitted = sum(len(chunk) for chunk in chunks)
+
+    def join(self) -> bool:
+        """Block until every chunk settles; stamp memos; ``True`` if all valid."""
+        if not self._joined:
+            all_ok = True
+            for chunk, (verdicts, delta) in zip(self._chunks,
+                                                self._result.get()):
+                for tx, verdict in zip(chunk, verdicts):
+                    _stamp(tx, verdict)
+                all_ok = all_ok and all(verdicts)
+                for key, value in delta.items():
+                    self.stats_delta[key] = self.stats_delta.get(key, 0) + value
+            self._all_ok = all_ok
             self._joined = True
         return self._all_ok

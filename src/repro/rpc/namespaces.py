@@ -562,6 +562,11 @@ class ParallelNamespace:
         if parallel is not None:
             payload["config"] = parallel.config.to_dict()
         payload["stats"] = chain.parallel_stats()
+        batchverify = getattr(chain, "batchverify", None)
+        payload["batch_verify"] = {
+            "enabled": batchverify is not None,
+            **(batchverify.stats if batchverify is not None else {}),
+        }
         return payload
 
     def methods(self) -> MethodTable:

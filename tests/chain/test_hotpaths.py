@@ -322,3 +322,97 @@ class TestSelectionEdgeCases:
                                        max_count=5)
         assert [t.hash_hex for t in wide[:5]] == \
             [t.hash_hex for t in narrow]
+
+
+class TestSimultaneousMultiexp:
+    """The batch verifier's shared squaring chain must be exact.
+
+    ``simultaneous_multiexp`` underpins the random-linear-combination check
+    in ``repro.batchverify``; any divergence from the naive product of
+    ``pow`` calls would make the RLC gate accept arithmetic the scalar path
+    rejects (or vice versa), so it is pinned against the builtin on the
+    same adversarial exponents the comb suite uses -- *without* order
+    reduction, because attacker-supplied public keys may live outside the
+    subgroup the order describes.
+    """
+
+    ADVERSARIAL_EXPONENTS = [
+        0, 1, GROUP_ORDER - 1, GROUP_ORDER, 2 * GROUP_ORDER + 1,
+    ]
+
+    @pytest.mark.parametrize("exponent", ADVERSARIAL_EXPONENTS)
+    def test_single_pair_matches_builtin_pow(self, exponent):
+        from repro.batchverify import simultaneous_multiexp
+
+        base = int.from_bytes(keccak256(b"multiexp-base"), "big") % GROUP_PRIME
+        assert simultaneous_multiexp([(base, exponent)], GROUP_PRIME) == \
+            pow(base, exponent, GROUP_PRIME)
+
+    def test_mixed_adversarial_batch_matches_naive_product(self):
+        from repro.batchverify import simultaneous_multiexp
+
+        bases = [
+            int.from_bytes(keccak256(b"multiexp-%d" % i), "big") % GROUP_PRIME
+            for i in range(len(self.ADVERSARIAL_EXPONENTS) + 3)
+        ]
+        exponents = self.ADVERSARIAL_EXPONENTS + [
+            (1 << 128) - 1, 123456789012345678901234567890, GROUP_PRIME,
+        ]
+        pairs = list(zip(bases, exponents))
+        naive = 1
+        for base, exponent in pairs:
+            naive = naive * pow(base, exponent, GROUP_PRIME) % GROUP_PRIME
+        assert simultaneous_multiexp(pairs, GROUP_PRIME) == naive
+
+    def test_zero_base_and_degenerate_modulus(self):
+        from repro.batchverify import simultaneous_multiexp
+
+        # pow(0, 0, m) == 1 and pow(0, k, m) == 0: the chain must agree.
+        assert simultaneous_multiexp([(0, 0)], GROUP_PRIME) == 1
+        assert simultaneous_multiexp([(0, 5)], GROUP_PRIME) == 0
+        assert simultaneous_multiexp([(3, 4)], 1) == 0
+        with pytest.raises(ValueError):
+            simultaneous_multiexp([(3, 4)], 0)
+
+
+class TestBatchVerifierCombReuse:
+    """Per-sender comb tables must be built once and then *reused*.
+
+    Rebuilding a table per batch would cost ~3x a scalar verify per
+    signature -- the promotion/caching discipline is the optimization, so
+    the counters pin it.
+    """
+
+    def make_items(self, count, label="comb-reuse"):
+        keypair = KeyPair.from_label(label)
+        return [
+            (keypair.sign(keccak256(b"%s-%d" % (label.encode(), i))),
+             keccak256(b"%s-%d" % (label.encode(), i)),
+             keypair.address)
+            for i in range(count)
+        ]
+
+    def test_comb_built_once_then_reused_across_batches(self):
+        from repro.batchverify import BatchVerifier
+
+        verifier = BatchVerifier()
+        items = self.make_items(8)
+        assert verifier.verify_batch(items) == [True] * 8
+        assert verifier.stats.comb_builds == 1
+        powers_after_first = verifier.stats.comb_powers
+        assert powers_after_first > 0
+        # Three more batches for the same sender: the table is warm, so
+        # every fast-path power goes through it and no new table is built.
+        for _ in range(3):
+            assert verifier.verify_batch(items) == [True] * 8
+        assert verifier.stats.comb_builds == 1
+        assert verifier.stats.comb_powers == powers_after_first + 3 * 8
+
+    def test_one_shot_senders_never_pay_for_a_table(self):
+        from repro.batchverify import BatchVerifier
+
+        verifier = BatchVerifier()
+        items = [self.make_items(1, label=f"one-shot-{i}")[0]
+                 for i in range(6)]
+        assert verifier.verify_batch(items) == [True] * 6
+        assert verifier.stats.comb_builds == 0

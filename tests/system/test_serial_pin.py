@@ -49,14 +49,20 @@ def _signed(sender: KeyPair, nonce: int, **fields) -> Transaction:
     ).sign(sender)
 
 
-def run_ideal_scenario() -> Blockchain:
-    """The frozen workload; every input is a constant."""
+def run_ideal_scenario(batch_verify=None) -> Blockchain:
+    """The frozen workload; every input is a constant.
+
+    ``batch_verify`` (a :class:`repro.batchverify.BatchVerifyConfig`) runs
+    the identical workload under deferred batch verification -- the pin
+    then asserts the produced bytes did not move.
+    """
     chain = Blockchain(
         config=ChainConfig(),
         backend=default_registry(),
         clock=SimulatedClock(start_time=0.0),
         validators=[VALIDATOR],
         genesis_timestamp=0.0,
+        batch_verify=batch_verify,
     )
     for keypair in (ALICE, BOB, CAROL):
         chain.mint(keypair.address, ether_to_wei(10))
@@ -123,6 +129,21 @@ def ideal_scenario_digest() -> str:
 class TestSerialPathPin:
     def test_ideal_scenario_md5_is_pinned(self):
         assert ideal_scenario_digest() == IDEAL_SCENARIO_MD5
+
+    def test_batch_verify_with_pipeline_stays_pinned(self):
+        # Batch Schnorr verification + pipelined production must be
+        # byte-identical to the frozen serial scenario: same block hashes,
+        # receipts, logs and state, down to the md5.  Runs both the inline
+        # settle path and the worker-pool pipeline.
+        from repro.batchverify import BatchVerifyConfig
+
+        for config in (BatchVerifyConfig(verify_workers=0),
+                       BatchVerifyConfig(verify_workers=2, pipeline=True)):
+            chain = run_ideal_scenario(batch_verify=config)
+            digest = hashlib.md5(canonical_dump(chain).encode()).hexdigest()
+            assert digest == IDEAL_SCENARIO_MD5, config
+            assert chain.batchverify.pipeline_fallbacks == 0
+            chain.batchverify.close()
 
     def test_scenario_shape_sanity(self):
         # Guard the pin itself: the scenario must actually exercise what it
